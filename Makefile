@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race cover bench experiments fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (EXPERIMENTS.md documents them).
+experiments:
+	go run ./cmd/ssjoinbench
+
+# Short fuzz pass over the codec and tokenizers.
+fuzz:
+	go test -fuzz FuzzReaderNeverPanics -fuzztime 15s ./internal/wire/
+	go test -fuzz FuzzRecordRoundTrip -fuzztime 15s ./internal/wire/
+	go test -fuzz FuzzWordTokenizer -fuzztime 10s ./internal/tokens/
+	go test -fuzz FuzzQGramTokenizer -fuzztime 10s ./internal/tokens/
+	go test -fuzz FuzzJoinMatchesBruteForce -fuzztime 15s ./internal/offline/
+
+clean:
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,360 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (EXPERIMENTS.md maps IDs to artefacts). Distributed benches run a full
+// topology per iteration and report rec/s and comm-tuples/record; local
+// benches drive a joiner record-at-a-time.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkE1 -benchtime=3x
+package ssjoin
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/dispatch"
+	"repro/internal/filter"
+	"repro/internal/local"
+	"repro/internal/offline"
+	"repro/internal/partition"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/topology"
+	"repro/internal/window"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+const benchRecords = 8000
+
+func benchStream(prof workload.Profile) []*record.Record {
+	return workload.NewGenerator(prof).Generate(benchRecords)
+}
+
+func benchParams(tau float64) filter.Params {
+	return filter.Params{Func: similarity.Jaccard, Threshold: tau}
+}
+
+func benchStrategy(name string, p filter.Params, recs []*record.Record, k int) dispatch.Strategy {
+	switch name {
+	case "length":
+		var h partition.Histogram
+		for _, r := range recs {
+			h.Add(r.Len())
+		}
+		w := partition.CostModel{Params: p}.Weights(&h)
+		return dispatch.NewLengthBased(p, partition.LoadAware(w, k))
+	case "prefix":
+		return dispatch.PrefixBased{Params: p}
+	default:
+		return dispatch.BroadcastBased{}
+	}
+}
+
+// runDistributedBench executes one full topology per iteration, reporting
+// throughput and communication.
+func runDistributedBench(b *testing.B, recs []*record.Record, strat dispatch.Strategy, p filter.Params, k int, win window.Policy) {
+	b.Helper()
+	var lastTuples uint64
+	var totalSec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := topology.Run(recs, topology.Config{
+			Workers: k, Strategy: strat, Algorithm: local.Bundled,
+			Params: p, Window: win,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastTuples = res.CommTuples
+		totalSec += res.Elapsed.Seconds()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(recs))/totalSec, "rec/s")
+	b.ReportMetric(float64(lastTuples)/float64(len(recs)), "tuples/rec")
+}
+
+// BenchmarkE1 — throughput vs threshold per distribution framework
+// (figure E1; also produces E3's tuples/rec series).
+func BenchmarkE1(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	for _, tau := range []float64{0.6, 0.7, 0.8, 0.9} {
+		for _, name := range []string{"length", "prefix", "broadcast"} {
+			p := benchParams(tau)
+			b.Run(fmt.Sprintf("%s/tau=%.1f", name, tau), func(b *testing.B) {
+				runDistributedBench(b, recs, benchStrategy(name, p, recs, 8), p, 8, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkE2 — scalability: throughput vs worker count (figure E2).
+func BenchmarkE2(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	p := benchParams(0.8)
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, name := range []string{"length", "broadcast"} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, k), func(b *testing.B) {
+				runDistributedBench(b, recs, benchStrategy(name, p, recs, k), p, k, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkE4 — replication and index footprint per framework (figure E4):
+// bench time tracks index maintenance; the tuples/rec metric exposes
+// shipping volume.
+func BenchmarkE4(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	p := benchParams(0.8)
+	for _, name := range []string{"length", "prefix", "broadcast"} {
+		b.Run(name, func(b *testing.B) {
+			runDistributedBench(b, recs, benchStrategy(name, p, recs, 8), p, 8, nil)
+		})
+	}
+}
+
+// BenchmarkE6 — throughput by length partitioner (figures E5/E6).
+func BenchmarkE6(b *testing.B) {
+	recs := benchStream(workload.EnronLike(42))
+	p := benchParams(0.8)
+	var h partition.Histogram
+	for _, r := range recs {
+		h.Add(r.Len())
+	}
+	w := partition.CostModel{Params: p}.Weights(&h)
+	parts := []struct {
+		name string
+		part partition.Partition
+	}{
+		{"even-length", partition.EvenLength(h.MaxLen(), 8)},
+		{"even-frequency", partition.EvenFrequency(&h, 8)},
+		{"load-aware", partition.LoadAware(w, 8)},
+	}
+	for _, pp := range parts {
+		b.Run(pp.name, func(b *testing.B) {
+			runDistributedBench(b, recs, dispatch.NewLengthBased(p, pp.part), p, 8, nil)
+		})
+	}
+}
+
+// runLocalBench drives a fresh joiner over the stream once per iteration.
+func runLocalBench(b *testing.B, recs []*record.Record, alg local.Algorithm, opt local.Options) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := local.New(alg, opt)
+		for _, r := range recs {
+			j.Step(r, true, func(local.Match) {})
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*len(recs))/elapsed, "rec/s")
+	}
+}
+
+// BenchmarkE7 — bundle join vs record-at-a-time joiners (figure E7).
+func BenchmarkE7(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	p := benchParams(0.8)
+	for _, alg := range []local.Algorithm{local.Prefix, local.Bundled} {
+		b.Run(alg.String(), func(b *testing.B) {
+			runLocalBench(b, recs, alg, local.Options{Params: p})
+		})
+	}
+}
+
+// BenchmarkE8 — batch vs one-by-one verification (figure E8).
+func BenchmarkE8(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	p := benchParams(0.8)
+	for _, mode := range []struct {
+		name string
+		one  bool
+	}{{"batch", false}, {"one-by-one", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			runLocalBench(b, recs, local.Bundled, local.Options{
+				Params: p, Bundle: bundle.Config{OneByOneVerify: mode.one},
+			})
+		})
+	}
+}
+
+// BenchmarkE9 — bundle grouping-threshold sweep (figure E9).
+func BenchmarkE9(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	p := benchParams(0.8)
+	for _, lambda := range []float64{0.8, 0.9, 1.01} {
+		b.Run(fmt.Sprintf("lambda=%.2f", lambda), func(b *testing.B) {
+			runLocalBench(b, recs, local.Bundled, local.Options{
+				Params: p, Bundle: bundle.Config{GroupThreshold: lambda},
+			})
+		})
+	}
+}
+
+// BenchmarkE11 — window-size sweep (figure E11).
+func BenchmarkE11(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	p := benchParams(0.8)
+	for _, win := range []window.Policy{
+		window.Count{N: benchRecords / 20},
+		window.Count{N: benchRecords / 4},
+		window.Unbounded{},
+	} {
+		b.Run(win.String(), func(b *testing.B) {
+			runLocalBench(b, recs, local.Bundled, local.Options{Params: p, Window: win})
+		})
+	}
+}
+
+// BenchmarkE12 — similarity-function generality (figure E12).
+func BenchmarkE12(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	for _, f := range []similarity.Func{similarity.Jaccard, similarity.Cosine, similarity.Dice} {
+		b.Run(f.String(), func(b *testing.B) {
+			runLocalBench(b, recs, local.Bundled, local.Options{
+				Params: filter.Params{Func: f, Threshold: 0.8},
+			})
+		})
+	}
+}
+
+// BenchmarkVerifyKernel — the micro-kernel every joiner bottoms out in:
+// merge-based overlap verification with early termination.
+func BenchmarkVerifyKernel(b *testing.B) {
+	a := make([]uint32, 64)
+	c := make([]uint32, 64)
+	for i := range a {
+		a[i] = uint32(2 * i)
+		c[i] = uint32(2*i + i%3)
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			similarity.IntersectSize(a, c)
+		}
+	})
+	b.Run("early-stop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			similarity.VerifyOverlap(a, c, 60)
+		}
+	})
+}
+
+// BenchmarkPositionFilterAblation — the DESIGN.md ablation: prefix joiner
+// work with the position filter on (production path) vs the naive joiner
+// without any candidate filtering.
+func BenchmarkPositionFilterAblation(b *testing.B) {
+	recs := workload.NewGenerator(workload.UniformSmall(42)).Generate(2500)
+	p := benchParams(0.8)
+	b.Run("prefix+filters", func(b *testing.B) {
+		runLocalBench(b, recs, local.Prefix, local.Options{Params: p})
+	})
+	b.Run("naive", func(b *testing.B) {
+		runLocalBench(b, recs, local.Naive, local.Options{Params: p})
+	})
+}
+
+// BenchmarkPublicAPI — Stream.Add end to end through the public surface.
+func BenchmarkPublicAPI(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	sets := make([][]uint32, len(recs))
+	for i, r := range recs {
+		sets[i] = r.Tokens
+	}
+	b.ResetTimer()
+	s, err := NewStream(Config{Threshold: 0.8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s.Add(sets[i%len(sets)])
+	}
+}
+
+// BenchmarkSuffixFilter — ablation of the optional recursive suffix filter
+// in the prefix joiner (DESIGN.md ablation list).
+func BenchmarkSuffixFilter(b *testing.B) {
+	recs := benchStream(workload.EnronLike(42))
+	p := benchParams(0.8)
+	for _, mode := range []struct {
+		name   string
+		suffix bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			runLocalBench(b, recs, local.Prefix, local.Options{
+				Params: p, SuffixFilter: mode.suffix,
+			})
+		})
+	}
+}
+
+// BenchmarkE15 — streaming vs offline join on a static dataset.
+func BenchmarkE15(b *testing.B) {
+	recs := benchStream(workload.AOLLike(42))
+	p := benchParams(0.8)
+	b.Run("streaming-prefix", func(b *testing.B) {
+		runLocalBench(b, recs, local.Prefix, local.Options{Params: p})
+	})
+	b.Run("streaming-bundle", func(b *testing.B) {
+		runLocalBench(b, recs, local.Bundled, local.Options{Params: p})
+	})
+	b.Run("offline-ppjoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			offline.Join(recs, p, func(offline.Pair) {})
+		}
+		b.StopTimer()
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(b.N*len(recs))/s, "rec/s")
+		}
+	})
+}
+
+// BenchmarkWireCodec — the serialization kernel of the TCP runtime.
+func BenchmarkWireCodec(b *testing.B) {
+	recs := benchStream(workload.TweetLike(42))
+	b.Run("encode", func(b *testing.B) {
+		w := wire.NewWriter(io.Discard)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.WriteRecord(true, recs[i%len(recs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("roundtrip", func(b *testing.B) {
+		var buf bytes.Buffer
+		w := wire.NewWriter(&buf)
+		for _, r := range recs[:512] {
+			if err := w.WriteRecord(true, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := wire.NewReader(bytes.NewReader(raw))
+			for {
+				typ, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if typ == wire.TypeRecord {
+					if _, err := r.ReadRecord(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package ssjoin
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBiStreamCrossSideOnly(t *testing.T) {
+	b, err := NewBiStream(Config{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idL, m := b.AddLeft([]uint32{1, 2, 3, 4})
+	if len(m) != 0 {
+		t.Fatalf("first record matched: %v", m)
+	}
+	// Same-side duplicate must NOT match.
+	_, m = b.AddLeft([]uint32{1, 2, 3, 4})
+	if len(m) != 0 {
+		t.Fatalf("same-side pair reported: %v", m)
+	}
+	// Cross-side duplicate must match both left copies.
+	_, m = b.AddRight([]uint32{1, 2, 3, 4})
+	if len(m) != 2 {
+		t.Fatalf("cross-side matches: %v", m)
+	}
+	found := false
+	for _, mm := range m {
+		if mm.ID == idL {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("first left record not matched: %v", m)
+	}
+	if b.SizeLeft() != 2 || b.SizeRight() != 1 {
+		t.Fatalf("sizes: %d/%d", b.SizeLeft(), b.SizeRight())
+	}
+}
+
+// TestBiStreamMatchesBruteForce interleaves two random streams and compares
+// against a brute-force cross join, for all algorithms and a count window.
+func TestBiStreamMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	type rec struct {
+		id   uint64
+		left bool
+		set  []uint32
+	}
+	var script []rec
+	for i := 0; i < 500; i++ {
+		n := 3 + rng.Intn(8)
+		set := make([]uint32, n)
+		for j := range set {
+			set[j] = uint32(rng.Intn(60))
+		}
+		script = append(script, rec{left: rng.Float64() < 0.5, set: set})
+	}
+	jacc := func(a, b []uint32) float64 {
+		am := map[uint32]bool{}
+		for _, x := range a {
+			am[x] = true
+		}
+		bm := map[uint32]bool{}
+		o := 0
+		for _, x := range b {
+			if bm[x] {
+				continue
+			}
+			bm[x] = true
+			if am[x] {
+				o++
+			}
+		}
+		return float64(o) / float64(len(am)+len(bm)-o)
+	}
+	for _, alg := range []Algorithm{Naive, Prefix, Bundle} {
+		for _, winN := range []int64{0, 100} {
+			b, err := NewBiStream(Config{Threshold: 0.7, Algorithm: alg, WindowRecords: winN})
+			if err != nil {
+				t.Fatal(err)
+			}
+			type pr struct{ a, b uint64 }
+			got := make(map[pr]bool)
+			for i := range script {
+				var id uint64
+				var ms []Match
+				if script[i].left {
+					id, ms = b.AddLeft(script[i].set)
+				} else {
+					id, ms = b.AddRight(script[i].set)
+				}
+				script[i].id = id
+				for _, m := range ms {
+					p := pr{m.ID, id}
+					if got[p] {
+						t.Fatalf("%v win=%d: duplicate %v", alg, winN, p)
+					}
+					got[p] = true
+				}
+			}
+			want := make(map[pr]bool)
+			for i := range script {
+				for j := 0; j < i; j++ {
+					if script[i].left == script[j].left {
+						continue
+					}
+					if winN > 0 && int64(i-j) > winN {
+						continue
+					}
+					if jacc(script[i].set, script[j].set) >= 0.7-1e-12 {
+						want[pr{script[j].id, script[i].id}] = true
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v win=%d: got %d pairs want %d", alg, winN, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("%v win=%d: missing %v", alg, winN, p)
+				}
+			}
+		}
+	}
+}
+
+func TestBiStreamValidation(t *testing.T) {
+	if _, err := NewBiStream(Config{}); err == nil {
+		t.Fatal("missing threshold accepted")
+	}
+}
+
+func TestTextBiStreamCrossSourceOnly(t *testing.T) {
+	tb, err := NewTextBiStream(Config{Threshold: 0.7}, Words, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddLeft("maria garcia oak avenue springfield")
+	_, same := tb.AddLeft("maria garcia oak avenue springfield")
+	if len(same) != 0 {
+		t.Fatalf("same-source match reported: %v", same)
+	}
+	_, cross := tb.AddRight("MARIA garcia oak avenue springfield")
+	if len(cross) != 2 {
+		t.Fatalf("cross-source matches: %v", cross)
+	}
+	if tb.SizeLeft() != 2 || tb.SizeRight() != 1 {
+		t.Fatalf("sizes: %d/%d", tb.SizeLeft(), tb.SizeRight())
+	}
+}
+
+func TestTextBiStreamQGramsAndValidation(t *testing.T) {
+	if _, err := NewTextBiStream(Config{}, Words, nil); err == nil {
+		t.Fatal("missing threshold accepted")
+	}
+	if _, err := NewTextBiStream(Config{Threshold: 0.6}, Tokenization(9), nil); err == nil {
+		t.Fatal("bad tokenization accepted")
+	}
+	tb, err := NewTextBiStream(Config{Threshold: 0.6}, QGrams, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddLeft("similarity")
+	_, m := tb.AddRight("similarty")
+	if len(m) != 1 {
+		t.Fatalf("qgram cross match: %v", m)
+	}
+}
+
+func TestBiStreamSnapshotRestore(t *testing.T) {
+	cfg := Config{Threshold: 0.7, WindowRecords: 60}
+	b, err := NewBiStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	makeSet := func() []uint32 {
+		n := 3 + rng.Intn(6)
+		set := make([]uint32, n)
+		for j := range set {
+			set[j] = uint32(rng.Intn(40))
+		}
+		return set
+	}
+	type step struct {
+		right bool
+		set   []uint32
+	}
+	var script []step
+	for i := 0; i < 200; i++ {
+		script = append(script, step{right: rng.Float64() < 0.5, set: makeSet()})
+	}
+	feed := func(b *BiStream, s step) (uint64, int) {
+		if s.right {
+			id, ms := b.AddRight(s.set)
+			return id, len(ms)
+		}
+		id, ms := b.AddLeft(s.set)
+		return id, len(ms)
+	}
+	for _, s := range script[:120] {
+		feed(b, s)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreBiStream(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SizeLeft() != b.SizeLeft() || restored.SizeRight() != b.SizeRight() {
+		t.Fatalf("sizes diverge: %d/%d vs %d/%d",
+			restored.SizeLeft(), restored.SizeRight(), b.SizeLeft(), b.SizeRight())
+	}
+	for _, s := range script[120:] {
+		idA, nA := feed(b, s)
+		idB, nB := feed(restored, s)
+		if idA != idB || nA != nB {
+			t.Fatalf("divergence: (%d,%d) vs (%d,%d)", idA, nA, idB, nB)
+		}
+	}
+}
+
+func TestRestoreBiStreamRejectsGarbage(t *testing.T) {
+	if _, err := RestoreBiStream(bytes.NewReader([]byte("junk")), Config{Threshold: 0.8}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

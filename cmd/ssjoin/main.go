@@ -1,0 +1,249 @@
+// Command ssjoin runs a distributed streaming set-similarity self-join over
+// a dataset file (see cmd/datagen for the format) or a generated workload,
+// and prints the result pairs or a run summary.
+//
+//	ssjoin -in data.txt -tau 0.8 -workers 4 -pairs        # emit pairs
+//	ssjoin -profile aol -n 20000 -tau 0.8 -dist length    # summary only
+//	ssjoin -profile tweet -n 10000 -dist prefix -alg prefix
+//
+// With -remote, the join runs on external ssjoinworker processes over TCP
+// instead of the in-process engine:
+//
+//	ssjoin -remote 127.0.0.1:7401,127.0.0.1:7402 -profile aol -n 100000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/filter"
+	"repro/internal/local"
+	"repro/internal/partition"
+	"repro/internal/record"
+	"repro/internal/remote"
+	"repro/internal/similarity"
+	"repro/internal/window"
+	"repro/internal/workload"
+
+	ssjoin "repro"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input dataset file (token ranks per line); overrides -profile")
+		profile = flag.String("profile", "uniform", "generated workload profile: aol, tweet, enron, uniform")
+		n       = flag.Int("n", 10000, "records to generate when no -in")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		tau     = flag.Float64("tau", 0.8, "similarity threshold")
+		fn      = flag.String("func", "jaccard", "similarity: jaccard, cosine, dice, overlap")
+		alg     = flag.String("alg", "bundle", "local algorithm: bundle, prefix, naive")
+		dist    = flag.String("dist", "length", "distribution: length, prefix, broadcast")
+		part    = flag.String("part", "load-aware", "length partitioner: load-aware, even-length, even-frequency")
+		workers = flag.Int("workers", 4, "worker parallelism")
+		win     = flag.Int64("window", 0, "count window (0 = unbounded)")
+		pairs   = flag.Bool("pairs", false, "print result pairs")
+		asJSON  = flag.Bool("json", false, "print the run summary as JSON on stdout")
+		rmt     = flag.String("remote", "", "comma-separated ssjoinworker addresses; replaces the in-process engine")
+	)
+	flag.Parse()
+
+	recs, err := loadRecords(*in, *profile, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *rmt != "" {
+		if err := runRemote(*rmt, recs, *tau, *fn, *alg, *dist, *win, *pairs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	sets := make([][]uint32, len(recs))
+	for i, r := range recs {
+		sets[i] = r.Tokens
+	}
+
+	cfg := ssjoin.DistributedConfig{
+		Workers:      *workers,
+		CollectPairs: *pairs,
+	}
+	cfg.Threshold = *tau
+	cfg.WindowRecords = *win
+	if cfg.Function, err = parseFunc(*fn); err != nil {
+		fatal(err)
+	}
+	if cfg.Algorithm, err = parseAlg(*alg); err != nil {
+		fatal(err)
+	}
+	if cfg.Distribution, err = parseDist(*dist); err != nil {
+		fatal(err)
+	}
+	if cfg.Partitioner, err = parsePart(*part); err != nil {
+		fatal(err)
+	}
+
+	res, err := ssjoin.RunDistributed(sets, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *pairs {
+		for _, p := range res.Pairs {
+			fmt.Printf("%d %d %.4f\n", p.A, p.B, p.Similarity)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := *res
+		if !*pairs {
+			out.Pairs = nil
+		}
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"records=%d results=%d elapsed=%v throughput=%.0f rec/s comm=%d tuples (%d bytes) stored=%d imbalance=%.2f latency(mean/p99)=%dns/%dns\n",
+		res.Records, res.Results, res.Elapsed, res.ThroughputPerSec,
+		res.CommTuples, res.CommBytes, res.StoredCopies, res.LoadImbalance,
+		res.LatencyMeanNs, res.LatencyP99Ns)
+}
+
+func loadRecords(path, profile string, n int, seed int64) ([]*record.Record, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.Load(f)
+	}
+	prof, err := workload.ProfileByName(profile, seed)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewGenerator(prof).Generate(n), nil
+}
+
+func parseFunc(s string) (ssjoin.Similarity, error) {
+	switch s {
+	case "jaccard":
+		return ssjoin.Jaccard, nil
+	case "cosine":
+		return ssjoin.Cosine, nil
+	case "dice":
+		return ssjoin.Dice, nil
+	case "overlap":
+		return ssjoin.Overlap, nil
+	}
+	return 0, fmt.Errorf("unknown similarity %q", s)
+}
+
+func parseAlg(s string) (ssjoin.Algorithm, error) {
+	switch s {
+	case "bundle":
+		return ssjoin.Bundle, nil
+	case "prefix":
+		return ssjoin.Prefix, nil
+	case "naive":
+		return ssjoin.Naive, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func parseDist(s string) (ssjoin.Distribution, error) {
+	switch s {
+	case "length":
+		return ssjoin.LengthBased, nil
+	case "prefix":
+		return ssjoin.PrefixBased, nil
+	case "broadcast":
+		return ssjoin.BroadcastBased, nil
+	}
+	return 0, fmt.Errorf("unknown distribution %q", s)
+}
+
+func parsePart(s string) (ssjoin.Partitioner, error) {
+	switch s {
+	case "load-aware":
+		return ssjoin.LoadAware, nil
+	case "even-length":
+		return ssjoin.EvenLength, nil
+	case "even-frequency":
+		return ssjoin.EvenFrequency, nil
+	}
+	return 0, fmt.Errorf("unknown partitioner %q", s)
+}
+
+// runRemote executes the join on external workers over TCP.
+func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dist string, win int64, pairs bool) error {
+	addrs := strings.Split(addrList, ",")
+	conns, err := remote.Dial(addrs, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	f, err := similarity.ParseFunc(fn)
+	if err != nil {
+		return err
+	}
+	a, err := local.ParseAlgorithm(alg)
+	if err != nil {
+		return err
+	}
+	params := filter.Params{Func: f, Threshold: tau}
+	sess := remote.Session{
+		Params:    params,
+		Algorithm: a,
+		Strategy:  dist,
+		Bundle:    bundle.Config{},
+	}
+	if win > 0 {
+		sess.Window = window.Count{N: win}
+	}
+	if dist == "length" {
+		var h partition.Histogram
+		for _, r := range recs {
+			h.Add(r.Len())
+		}
+		w := partition.CostModel{Params: params}.Weights(&h)
+		sess.Bounds = partition.LoadAware(w, len(conns)).Bounds
+	}
+
+	rws := make([]io.ReadWriter, len(conns))
+	for i, c := range conns {
+		rws[i] = c
+	}
+	sum, err := remote.Run(rws, sess, recs, pairs)
+	if err != nil {
+		return err
+	}
+	if pairs {
+		for _, p := range sum.Pairs {
+			fmt.Printf("%d %d %.4f\n", p.First, p.Second, p.Sim)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"remote: workers=%d records=%d results=%d elapsed=%v throughput=%.0f rec/s sent=%d tuples (%d bytes)\n",
+		len(conns), sum.Records, sum.Results, sum.Elapsed,
+		float64(sum.Records)/sum.Elapsed.Seconds(), sum.TuplesSent, sum.BytesSent)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssjoin:", err)
+	os.Exit(1)
+}

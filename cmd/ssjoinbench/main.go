@@ -1,0 +1,92 @@
+// Command ssjoinbench regenerates the paper's tables and figures.
+//
+//	ssjoinbench                 # run everything at default scale
+//	ssjoinbench -exp E1         # one experiment
+//	ssjoinbench -records 50000 -workers 8 -seed 7
+//	ssjoinbench -list           # inventory
+//
+// Output is aligned text, one table per experiment, matching the
+// per-experiment index in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment ID to run (default: all)")
+		records = flag.Int("records", 0, "records per run (default: experiment default)")
+		workers = flag.Int("workers", 0, "worker parallelism (default: experiment default)")
+		seed    = flag.Int64("seed", 0, "workload seed (default: experiment default)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		format  = flag.String("format", "text", "output format: text or csv")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	)
+	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := experiments.DefaultScale()
+	if *records > 0 {
+		scale.Records = *records
+	}
+	if *workers > 0 {
+		scale.Workers = *workers
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	var runs []experiments.Experiment
+	if *expID != "" {
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runs = []experiments.Experiment{e}
+	} else {
+		runs = experiments.All()
+	}
+
+	if *format == "text" {
+		fmt.Printf("scale: records=%d workers=%d seed=%d\n\n", scale.Records, scale.Workers, scale.Seed)
+	}
+	for _, e := range runs {
+		start := time.Now()
+		tab := e.Run(scale)
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+		default:
+			fmt.Print(tab.Format())
+			fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command ssjoinworker serves join worker sessions over TCP. Start one per
+// machine (or per core), then point the coordinator at them:
+//
+//	ssjoinworker -listen :7401 &
+//	ssjoinworker -listen :7402 &
+//	ssjoin -remote 127.0.0.1:7401,127.0.0.1:7402 -profile aol -n 100000
+//
+// Each coordinator connection is one self-contained join session carrying
+// its own configuration, so a worker can serve many sessions concurrently
+// and needs no local configuration at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/remote"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7401", "TCP address to listen on")
+		httpAddr = flag.String("http", "", "optional HTTP address serving /healthz and /stats")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssjoinworker:", err)
+		os.Exit(1)
+	}
+	var mon remote.Monitor
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("ssjoinworker: monitoring on http://%s/stats", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mon.Handler()); err != nil {
+				log.Printf("ssjoinworker: monitor server: %v", err)
+			}
+		}()
+	}
+	log.Printf("ssjoinworker: listening on %s", ln.Addr())
+	if err := remote.ServeWorkerMonitored(ln, log.Printf, &mon); err != nil {
+		fmt.Fprintln(os.Stderr, "ssjoinworker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package ssjoin_test
+
+import (
+	"bytes"
+	"fmt"
+
+	ssjoin "repro"
+)
+
+// The basic streaming loop: every Add returns the matches of the new
+// record among everything still in the window.
+func ExampleNewStream() {
+	js, _ := ssjoin.NewStream(ssjoin.Config{Threshold: 0.8})
+	js.Add([]uint32{1, 2, 3, 4, 5})
+	_, matches := js.Add([]uint32{1, 2, 3, 4, 5})
+	fmt.Printf("%d match, sim %.1f\n", len(matches), matches[0].Similarity)
+	// Output: 1 match, sim 1.0
+}
+
+// Text records: tokenization and the global token ordering are handled
+// internally; bootstrap with a sample for the best prefix pruning.
+func ExampleNewTextStream() {
+	ts, _ := ssjoin.NewTextStream(ssjoin.Config{Threshold: 0.7}, ssjoin.Words, nil)
+	ts.Add("breaking news market rally continues")
+	_, matches := ts.Add("Breaking News: market rally continues!")
+	fmt.Println(len(matches))
+	// Output: 1
+}
+
+// A count window bounds how far back matches can reach.
+func ExampleConfig_windowRecords() {
+	js, _ := ssjoin.NewStream(ssjoin.Config{Threshold: 0.9, WindowRecords: 1})
+	js.Add([]uint32{1, 2, 3})
+	js.Add([]uint32{9, 9, 9})               // pushes the first record out
+	_, matches := js.Add([]uint32{1, 2, 3}) // too late
+	fmt.Println(len(matches))
+	// Output: 0
+}
+
+// Batch joins run the offline PPJoin-style algorithm over a static
+// dataset.
+func ExampleJoinBatch() {
+	pairs, _ := ssjoin.JoinBatch([][]uint32{
+		{1, 2, 3, 4},
+		{5, 6, 7},
+		{1, 2, 3, 4, 9},
+	}, ssjoin.Config{Threshold: 0.75})
+	for _, p := range pairs {
+		fmt.Printf("%d~%d %.2f\n", p.A, p.B, p.Similarity)
+	}
+	// Output: 0~2 0.80
+}
+
+// Distributed execution over an in-process worker fleet with the paper's
+// length-based framework.
+func ExampleRunDistributed() {
+	sets := make([][]uint32, 0, 200)
+	for i := 0; i < 100; i++ {
+		base := uint32(10 * i)
+		sets = append(sets, []uint32{base, base + 1, base + 2, base + 3})
+		sets = append(sets, []uint32{base, base + 1, base + 2, base + 3, base + 4})
+	}
+	res, _ := ssjoin.RunDistributed(sets, ssjoin.DistributedConfig{
+		Config:       ssjoin.Config{Threshold: 0.8},
+		Workers:      4,
+		Distribution: ssjoin.LengthBased,
+	})
+	fmt.Println(res.Results, res.StoredCopies == res.Records)
+	// Output: 100 true
+}
+
+// Two-stream joins match only across sides — the data-integration shape.
+func ExampleNewBiStream() {
+	b, _ := ssjoin.NewBiStream(ssjoin.Config{Threshold: 0.8})
+	b.AddLeft([]uint32{1, 2, 3, 4})
+	_, sameSide := b.AddLeft([]uint32{1, 2, 3, 4})
+	_, crossSide := b.AddRight([]uint32{1, 2, 3, 4})
+	fmt.Println(len(sameSide), len(crossSide))
+	// Output: 0 2
+}
+
+// Snapshots checkpoint the window state; a restored stream continues
+// exactly where the original stopped.
+func ExampleStream_WriteSnapshot() {
+	js, _ := ssjoin.NewStream(ssjoin.Config{Threshold: 0.8})
+	js.Add([]uint32{1, 2, 3, 4, 5})
+
+	var buf bytes.Buffer
+	js.WriteSnapshot(&buf)
+	restored, _ := ssjoin.RestoreStream(&buf, ssjoin.Config{Threshold: 0.8})
+
+	_, matches := restored.Add([]uint32{1, 2, 3, 4, 5})
+	fmt.Println(len(matches))
+	// Output: 1
+}

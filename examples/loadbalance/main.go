@@ -1,0 +1,65 @@
+// Load balancing: why the length-based framework needs the load-aware
+// partitioner. This example joins the same skewed stream distributed over
+// eight workers under each of the three length partitioners and prints the
+// per-worker load profile and throughput of each — even splits leave one
+// straggler doing most of the verification work; the cost-model split
+// equalizes it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssjoin "repro"
+
+	"repro/internal/filter"
+	"repro/internal/partition"
+	"repro/internal/similarity"
+	"repro/internal/workload"
+)
+
+func main() {
+	// ENRON-like: long records with a fat tail — the worst case for naive
+	// length partitioning.
+	gen := workload.NewGenerator(workload.EnronLike(99))
+	recs := gen.Generate(8000)
+	sets := make([][]uint32, len(recs))
+	for i, r := range recs {
+		sets[i] = r.Tokens
+	}
+
+	// The cost model the load-aware partitioner optimizes: estimated local
+	// join cost per stored-record length.
+	const k = 8
+	params := filter.Params{Func: similarity.Jaccard, Threshold: 0.8}
+	var h partition.Histogram
+	for _, r := range recs {
+		h.Add(r.Len())
+	}
+	weights := partition.CostModel{Params: params}.Weights(&h)
+	estimated := map[ssjoin.Partitioner]float64{
+		ssjoin.EvenLength:    partition.Imbalance(partition.EvenLength(h.MaxLen(), k), weights),
+		ssjoin.EvenFrequency: partition.Imbalance(partition.EvenFrequency(&h, k), weights),
+		ssjoin.LoadAware:     partition.Imbalance(partition.LoadAware(weights, k), weights),
+	}
+
+	for _, part := range []ssjoin.Partitioner{
+		ssjoin.EvenLength, ssjoin.EvenFrequency, ssjoin.LoadAware,
+	} {
+		res, err := ssjoin.RunDistributed(sets, ssjoin.DistributedConfig{
+			Config:       ssjoin.Config{Threshold: 0.8},
+			Workers:      k,
+			Distribution: ssjoin.LengthBased,
+			Partitioner:  part,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s throughput %8.0f rec/s   est. imbalance %6.2fx   realized %.2fx\n",
+			part.String(), res.ThroughputPerSec, estimated[part], res.LoadImbalance)
+	}
+	fmt.Println("\nimbalance = busiest worker / mean worker (1.0 is perfect); the")
+	fmt.Println("pipeline drains at the speed of its busiest worker. Estimated uses")
+	fmt.Println("the partitioner's merge-cost model; realized counts actual scan and")
+	fmt.Println("verification work, which also includes probe-side fan-out effects.")
+}

@@ -1,0 +1,72 @@
+// Quickstart: the smallest useful ssjoin program. It feeds a handful of
+// token-set records and raw-text records through the streaming join and
+// prints every near-duplicate the moment it arrives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssjoin "repro"
+)
+
+func main() {
+	// --- Token-set records -------------------------------------------
+	js, err := ssjoin.NewStream(ssjoin.Config{
+		Threshold: 0.75, // Jaccard by default
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sets := [][]uint32{
+		{1, 2, 3, 4, 5},
+		{6, 7, 8},
+		{1, 2, 3, 4, 5, 9}, // near-duplicate of record 0 (sim 5/6)
+		{6, 7, 8, 10},      // near-duplicate of record 1 (sim 3/4)
+		{20, 21, 22, 23},   // fresh
+	}
+	fmt.Println("token-set stream:")
+	for _, set := range sets {
+		id, matches := js.Add(set)
+		for _, m := range matches {
+			fmt.Printf("  record %d matches record %d (overlap %d, sim %.2f)\n",
+				id, m.ID, m.Overlap, m.Similarity)
+		}
+	}
+
+	// --- Raw text ------------------------------------------------------
+	sample := []string{
+		"stocks rally as markets open higher",
+		"rain expected across the region tonight",
+		"team clinches title in overtime thriller",
+	}
+	ts, err := ssjoin.NewTextStream(ssjoin.Config{Threshold: 0.7}, ssjoin.Words, sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	headlines := []string{
+		"Stocks rally as markets open higher",
+		"Rain expected across the region tonight",
+		"STOCKS RALLY as markets open much higher", // near-dup of #0
+	}
+	fmt.Println("text stream:")
+	for _, h := range headlines {
+		id, matches := ts.Add(h)
+		for _, m := range matches {
+			fmt.Printf("  %q duplicates record %d (sim %.2f)\n", truncate(h, 34), m.ID, m.Similarity)
+		}
+		_ = id
+	}
+
+	st := js.Stats()
+	fmt.Printf("stats: %d records, %d results, %d candidates checked\n",
+		st.Records, st.Results, st.Candidates)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

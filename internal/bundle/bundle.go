@@ -1,0 +1,277 @@
+// Package bundle implements the bundle-based streaming join: the join
+// results of each incoming record guide index construction by grouping
+// similar records into bundles on the fly. A bundle factors its members
+// into a shared core (tokens common to all members) and small per-member
+// deltas, so that
+//
+//   - filtering cost is shared: one posting per (bundle, token) instead of
+//     one per (record, token), one union-overlap upper bound prunes all
+//     members at once, and
+//   - verification cost is shared: overlap(probe, member) =
+//     overlap(probe, core) + overlap(probe, delta), so the core term is
+//     computed once per bundle and each member costs only its token
+//     difference.
+//
+// Both identities are exact because core and delta are disjoint and their
+// union is the member's token set.
+package bundle
+
+import (
+	"repro/internal/tokens"
+
+	"repro/internal/record"
+)
+
+// Member is one record inside a bundle together with its token difference
+// from the bundle core.
+type Member struct {
+	Rec   *record.Record
+	Delta []tokens.Rank // Rec.Tokens \ Core, ascending
+	dead  bool
+}
+
+// Bundle groups records that joined with one another. Invariants:
+// Core ⊆ member.Rec.Tokens for every member; member.Delta = member tokens
+// minus Core; Union ⊇ member tokens for every member (Union may be a strict
+// superset after evictions, which is safe because it is only used as an
+// upper bound).
+type Bundle struct {
+	ID      uint64
+	Core    []tokens.Rank
+	Union   []tokens.Rank
+	Members []*Member
+
+	// posted tracks the tokens this bundle already has postings under so
+	// member additions do not duplicate postings. Prefixes are short, so a
+	// small slice with linear dedup beats a map (profiled: the map was the
+	// top allocation site).
+	posted []tokens.Rank
+	// peak tracks the max member count since the last shrink rebuild.
+	peak int
+	live int
+}
+
+func (b *Bundle) hasPosted(tok tokens.Rank) bool {
+	for _, p := range b.posted {
+		if p == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// Live reports the number of unevicted members.
+func (b *Bundle) Live() int { return b.live }
+
+// MinLen and MaxLen return the live member length extremes; both return 0
+// when the bundle is empty.
+func (b *Bundle) MinLen() int {
+	min := 0
+	for _, m := range b.Members {
+		if m.dead {
+			continue
+		}
+		if min == 0 || m.Rec.Len() < min {
+			min = m.Rec.Len()
+		}
+	}
+	return min
+}
+
+// MaxLen returns the largest live member length.
+func (b *Bundle) MaxLen() int {
+	max := 0
+	for _, m := range b.Members {
+		if !m.dead && m.Rec.Len() > max {
+			max = m.Rec.Len()
+		}
+	}
+	return max
+}
+
+// intersect returns a ∩ b (both ascending).
+func intersect(a, b []tokens.Rank) []tokens.Rank {
+	out := make([]tokens.Rank, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// subtract returns a \ b (both ascending).
+func subtract(a, b []tokens.Rank) []tokens.Rank {
+	out := make([]tokens.Rank, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j < len(b) && b[j] == a[i] {
+			i++
+			j++
+			continue
+		}
+		out = append(out, a[i])
+		i++
+	}
+	return out
+}
+
+// union returns a ∪ b (both ascending).
+func union(a, b []tokens.Rank) []tokens.Rank {
+	out := make([]tokens.Rank, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// merge returns a ∪ b assuming a ∩ b = ∅ (used to reconstitute member
+// token sets from core+delta in tests).
+func merge(a, b []tokens.Rank) []tokens.Rank { return union(a, b) }
+
+// overlapSteps computes |a∩b| and the number of merge iterations spent, the
+// unit the experiment harness uses to compare batch and one-by-one
+// verification cost.
+func overlapSteps(a, b []tokens.Rank) (o, steps int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		steps++
+		switch {
+		case a[i] == b[j]:
+			o++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return o, steps
+}
+
+// overlapStepsBounded behaves like overlapSteps but aborts once required
+// becomes unreachable. ok=false means the requirement failed and o is a
+// lower bound; ok=true means o is the exact intersection size.
+func overlapStepsBounded(a, b []tokens.Rank, required int) (o, steps int, ok bool) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		rest := len(a) - i
+		if lb := len(b) - j; lb < rest {
+			rest = lb
+		}
+		if o+rest < required {
+			return o, steps, false
+		}
+		steps++
+		switch {
+		case a[i] == b[j]:
+			o++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return o, steps, o >= required
+}
+
+// add appends r as a member: the core shrinks to core ∩ r, existing deltas
+// absorb the evicted core tokens, and the union grows by r's tokens.
+// It returns the tokens of r's prefix that were not yet posted for this
+// bundle so the caller can extend the posting lists.
+func (b *Bundle) add(r *record.Record, prefixLen int) (newPostings []tokens.Rank) {
+	if b.live == 0 {
+		// Records are immutable, so a singleton bundle can alias the
+		// record's token slice; every later mutation path allocates fresh
+		// slices (intersect/subtract/union never write their inputs).
+		b.Core = r.Tokens
+		b.Union = r.Tokens
+		b.Members = append(b.Members, &Member{Rec: r, Delta: nil})
+	} else {
+		newCore := intersect(b.Core, r.Tokens)
+		if len(newCore) != len(b.Core) {
+			released := subtract(b.Core, newCore)
+			for _, m := range b.Members {
+				if m.dead {
+					continue
+				}
+				m.Delta = union(m.Delta, released)
+			}
+			b.Core = newCore
+		}
+		b.Union = union(b.Union, r.Tokens)
+		b.Members = append(b.Members, &Member{Rec: r, Delta: subtract(r.Tokens, newCoreOf(b))})
+	}
+	b.live++
+	if b.live > b.peak {
+		b.peak = b.live
+	}
+	for i := 0; i < prefixLen && i < r.Len(); i++ {
+		tok := r.Tokens[i]
+		if !b.hasPosted(tok) {
+			b.posted = append(b.posted, tok)
+			newPostings = append(newPostings, tok)
+		}
+	}
+	return newPostings
+}
+
+func newCoreOf(b *Bundle) []tokens.Rank { return b.Core }
+
+// removeDead drops dead members and, when the bundle has shrunk to half its
+// peak, rebuilds Union (and tightens Core) from the survivors.
+func (b *Bundle) removeDead() {
+	w := 0
+	for _, m := range b.Members {
+		if !m.dead {
+			b.Members[w] = m
+			w++
+		}
+	}
+	b.Members = b.Members[:w]
+	if b.live == 0 || w == 0 {
+		return
+	}
+	if w*2 <= b.peak {
+		u := append([]tokens.Rank(nil), b.Members[0].Rec.Tokens...)
+		for _, m := range b.Members[1:] {
+			u = union(u, m.Rec.Tokens)
+		}
+		b.Union = u
+		b.peak = w
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

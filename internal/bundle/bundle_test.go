@@ -1,0 +1,327 @@
+package bundle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+	"repro/internal/window"
+)
+
+func params(tau float64) filter.Params {
+	return filter.Params{Func: similarity.Jaccard, Threshold: tau}
+}
+
+func rec(id record.ID, ranks ...tokens.Rank) *record.Record {
+	return &record.Record{ID: id, Time: int64(id), Tokens: tokens.Dedup(ranks)}
+}
+
+func TestSetOps(t *testing.T) {
+	a := []tokens.Rank{1, 3, 5, 7}
+	b := []tokens.Rank{3, 4, 5}
+	if got := intersect(a, b); !reflect.DeepEqual(got, []tokens.Rank{3, 5}) {
+		t.Fatalf("intersect: %v", got)
+	}
+	if got := subtract(a, b); !reflect.DeepEqual(got, []tokens.Rank{1, 7}) {
+		t.Fatalf("subtract: %v", got)
+	}
+	if got := union(a, b); !reflect.DeepEqual(got, []tokens.Rank{1, 3, 4, 5, 7}) {
+		t.Fatalf("union: %v", got)
+	}
+	if got := union(nil, b); !reflect.DeepEqual(got, b) {
+		t.Fatalf("union nil: %v", got)
+	}
+}
+
+func TestOverlapSteps(t *testing.T) {
+	o, steps := overlapSteps([]tokens.Rank{1, 2, 3}, []tokens.Rank{2, 3, 4})
+	if o != 2 {
+		t.Fatalf("overlap: %d", o)
+	}
+	if steps == 0 {
+		t.Fatal("steps not counted")
+	}
+}
+
+// checkInvariants asserts the core/delta/union algebra of a bundle.
+func checkInvariants(t *testing.T, b *Bundle) {
+	t.Helper()
+	for _, m := range b.Members {
+		if m.dead {
+			continue
+		}
+		// Core ⊆ member tokens.
+		if got := intersect(b.Core, m.Rec.Tokens); len(got) != len(b.Core) {
+			t.Fatalf("core not subset of member %d: core=%v tokens=%v",
+				m.Rec.ID, b.Core, m.Rec.Tokens)
+		}
+		// Core ∪ Delta == member tokens exactly.
+		recon := merge(b.Core, m.Delta)
+		if !reflect.DeepEqual(recon, m.Rec.Tokens) {
+			t.Fatalf("core+delta != tokens for member %d: %v vs %v",
+				m.Rec.ID, recon, m.Rec.Tokens)
+		}
+		// Core ∩ Delta == ∅.
+		if len(intersect(b.Core, m.Delta)) != 0 {
+			t.Fatalf("core and delta overlap for member %d", m.Rec.ID)
+		}
+		// Member ⊆ Union.
+		if got := intersect(b.Union, m.Rec.Tokens); len(got) != len(m.Rec.Tokens) {
+			t.Fatalf("member %d not subset of union", m.Rec.ID)
+		}
+	}
+}
+
+func TestBundleAddMaintainsInvariants(t *testing.T) {
+	b := &Bundle{ID: 1}
+	recs := []*record.Record{
+		rec(0, 1, 2, 3, 4, 5),
+		rec(1, 1, 2, 3, 4, 6),
+		rec(2, 2, 3, 4, 5, 6),
+		rec(3, 1, 2, 3, 9, 10),
+	}
+	for _, r := range recs {
+		b.add(r, 2)
+		checkInvariants(t, b)
+	}
+	// Core must be the intersection of all four: {2,3}
+	if !reflect.DeepEqual(b.Core, []tokens.Rank{2, 3}) {
+		t.Fatalf("core: got %v want [2 3]", b.Core)
+	}
+}
+
+func TestBundleAddReportsOnlyNewPostings(t *testing.T) {
+	b := &Bundle{ID: 1}
+	first := b.add(rec(0, 1, 2, 3, 4), 2)
+	if !reflect.DeepEqual(first, []tokens.Rank{1, 2}) {
+		t.Fatalf("first postings: %v", first)
+	}
+	second := b.add(rec(1, 1, 2, 3, 5), 2)
+	if len(second) != 0 {
+		t.Fatalf("duplicate postings issued: %v", second)
+	}
+	third := b.add(rec(2, 1, 7, 8, 9), 2)
+	if !reflect.DeepEqual(third, []tokens.Rank{7}) {
+		t.Fatalf("third postings: %v", third)
+	}
+}
+
+func TestProcessFindsDuplicates(t *testing.T) {
+	bx := New(params(0.8), window.Unbounded{}, Config{})
+	var matches []Match
+	bx.Process(rec(0, 1, 2, 3, 4, 5), func(m Match) { matches = append(matches, m) })
+	bx.Process(rec(1, 1, 2, 3, 4, 5), func(m Match) { matches = append(matches, m) })
+	if len(matches) != 1 || matches[0].Rec.ID != 0 {
+		t.Fatalf("matches: %v", matches)
+	}
+	if matches[0].Sim != 1.0 {
+		t.Fatalf("sim: %v", matches[0].Sim)
+	}
+	// The duplicate must have been appended, not given a new bundle.
+	st := bx.Stats()
+	if st.Bundles != 1 || st.Appends != 1 {
+		t.Fatalf("grouping: bundles=%d appends=%d", st.Bundles, st.Appends)
+	}
+}
+
+func TestSingletonWhenNoMatch(t *testing.T) {
+	bx := New(params(0.8), window.Unbounded{}, Config{})
+	bx.Process(rec(0, 1, 2, 3), func(Match) {})
+	bx.Process(rec(1, 10, 11, 12), func(Match) {})
+	if st := bx.Stats(); st.Bundles != 2 || st.Appends != 0 {
+		t.Fatalf("bundles=%d appends=%d", st.Bundles, st.Appends)
+	}
+}
+
+func TestMaxMembersCapsBundles(t *testing.T) {
+	bx := New(params(0.8), window.Unbounded{}, Config{MaxMembers: 2})
+	for i := 0; i < 4; i++ {
+		bx.Process(rec(record.ID(i), 1, 2, 3, 4, 5), func(Match) {})
+	}
+	st := bx.Stats()
+	if st.MaxBundleSize > 2 {
+		t.Fatalf("bundle grew past cap: %d", st.MaxBundleSize)
+	}
+	if st.Bundles < 2 {
+		t.Fatalf("expected at least 2 bundles, got %d", st.Bundles)
+	}
+}
+
+func TestMinCoreFracRejectsWeakGroups(t *testing.T) {
+	// Two records with sim exactly at τ but small intersection relative to
+	// their length would shrink the core too much with MinCoreFrac close
+	// to 1.
+	bx := New(params(0.5), window.Unbounded{}, Config{MinCoreFrac: 0.99})
+	bx.Process(rec(0, 1, 2, 3, 4), func(Match) {})
+	// sim = 3/5 = 0.6 >= 0.5 but core would be 3 < 0.99*4
+	bx.Process(rec(1, 1, 2, 3, 9), func(Match) {})
+	if st := bx.Stats(); st.Appends != 0 {
+		t.Fatalf("append happened despite MinCoreFrac: %+v", st)
+	}
+}
+
+func TestEvictionRemovesMembers(t *testing.T) {
+	bx := New(params(0.8), window.Count{N: 1}, Config{})
+	got := 0
+	bx.Process(rec(0, 1, 2, 3, 4), func(Match) { got++ })
+	bx.Process(rec(1, 1, 2, 3, 4), func(Match) { got++ }) // finds 0
+	bx.Process(rec(3, 1, 2, 3, 4), func(Match) { got++ }) // 0 and 1 expired (N=1)
+	if got != 1 {                                         // only the match at step 2; at seq 3 both partners are dead
+		t.Fatalf("matches: got %d want 1", got)
+	}
+	if st := bx.Stats(); st.Evicted == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+// TestBundleJoinMatchesBruteForce is the headline correctness property: the
+// bundle-based joiner must produce exactly the same result pairs as a
+// brute-force scan, across thresholds, windows, verification modes, and
+// grouping configs.
+func TestBundleJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	configs := []Config{
+		{},
+		{OneByOneVerify: true},
+		{MaxMembers: 3},
+		{GroupThreshold: 0.95},
+		{MinCoreFrac: 0.8},
+	}
+	for _, tau := range []float64{0.5, 0.7, 0.85} {
+		for _, win := range []window.Policy{window.Unbounded{}, window.Count{N: 25}} {
+			for ci, cfg := range configs {
+				bx := New(params(tau), win, cfg)
+				stream := duplicateHeavyStream(rng, 220, 50)
+				got := make(map[record.Pair]bool)
+				for _, r := range stream {
+					bx.Process(r, func(m Match) {
+						got[record.NewPair(r.ID, m.Rec.ID, 0)] = true
+						// Overlap reported must be exact.
+						if truth := similarity.IntersectSize(r.Tokens, m.Rec.Tokens); truth != m.Overlap {
+							t.Fatalf("overlap wrong: got %d want %d", m.Overlap, truth)
+						}
+					})
+				}
+				want := bruteForce(stream, tau, win)
+				if len(got) != len(want) {
+					t.Fatalf("τ=%v win=%v cfg#%d: got %d pairs want %d",
+						tau, win, ci, len(got), len(want))
+				}
+				for pr := range want {
+					if !got[pr] {
+						t.Fatalf("τ=%v win=%v cfg#%d: missing %v", tau, win, ci, pr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// duplicateHeavyStream produces clusters of near-duplicates — the workload
+// bundling exists for.
+func duplicateHeavyStream(rng *rand.Rand, n, universe int) []*record.Record {
+	var stream []*record.Record
+	var protos [][]tokens.Rank
+	for i := 0; i < n; i++ {
+		var set []tokens.Rank
+		if len(protos) > 0 && rng.Float64() < 0.6 {
+			proto := protos[rng.Intn(len(protos))]
+			set = append([]tokens.Rank{}, proto...)
+			// mutate one token sometimes
+			if rng.Float64() < 0.5 && len(set) > 1 {
+				set[rng.Intn(len(set))] = tokens.Rank(rng.Intn(universe))
+			}
+		} else {
+			m := 3 + rng.Intn(10)
+			for len(set) < m {
+				set = append(set, tokens.Rank(rng.Intn(universe)))
+			}
+			protos = append(protos, set)
+		}
+		stream = append(stream, rec(record.ID(i), set...))
+	}
+	return stream
+}
+
+func bruteForce(stream []*record.Record, tau float64, win window.Policy) map[record.Pair]bool {
+	out := make(map[record.Pair]bool)
+	for i, r := range stream {
+		for j := 0; j < i; j++ {
+			s := stream[j]
+			if !win.Live(s.ID, s.Time, r.ID, r.Time) {
+				continue
+			}
+			if similarity.Of(similarity.Jaccard, r.Tokens, s.Tokens) >= tau-1e-12 {
+				out[record.NewPair(r.ID, s.ID, 0)] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestBatchVerificationSavesSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	stream := duplicateHeavyStream(rng, 600, 40)
+	run := func(oneByOne bool) Stats {
+		bx := New(params(0.6), window.Unbounded{}, Config{OneByOneVerify: oneByOne})
+		for _, r := range stream {
+			bx.Process(r, func(Match) {})
+		}
+		return bx.Stats()
+	}
+	batch := run(false)
+	singly := run(true)
+	if batch.Results != singly.Results {
+		t.Fatalf("result mismatch: batch=%d single=%d", batch.Results, singly.Results)
+	}
+	if batch.VerifySteps >= singly.VerifySteps {
+		t.Fatalf("batch verification not cheaper: batch=%d steps vs single=%d",
+			batch.VerifySteps, singly.VerifySteps)
+	}
+}
+
+func TestBundlingReducesPostings(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	stream := duplicateHeavyStream(rng, 600, 40)
+	grouped := New(params(0.6), window.Unbounded{}, Config{})
+	solo := New(params(0.6), window.Unbounded{}, Config{GroupThreshold: 2.0}) // never group
+	for _, r := range stream {
+		grouped.Process(r, func(Match) {})
+		solo.Process(r, func(Match) {})
+	}
+	if g, s := grouped.Stats().Postings, solo.Stats().Postings; g >= s {
+		t.Fatalf("bundling did not reduce postings: grouped=%d solo=%d", g, s)
+	}
+}
+
+func TestRemoveDeadRebuildsUnion(t *testing.T) {
+	b := &Bundle{ID: 1}
+	b.add(rec(0, 1, 2, 3), 1)
+	b.add(rec(1, 1, 2, 4), 1)
+	b.add(rec(2, 1, 2, 5), 1)
+	b.add(rec(3, 1, 2, 6), 1)
+	// kill 3 of 4 → shrink rebuild must fire
+	for _, m := range b.Members[:3] {
+		m.dead = true
+		b.live--
+	}
+	b.removeDead()
+	if len(b.Members) != 1 {
+		t.Fatalf("members after removeDead: %d", len(b.Members))
+	}
+	if !reflect.DeepEqual(b.Union, []tokens.Rank{1, 2, 6}) {
+		t.Fatalf("union not rebuilt: %v", b.Union)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	bx := New(params(0.7), window.Unbounded{}, Config{})
+	cfg := bx.Config()
+	if cfg.GroupThreshold != 0.7 || cfg.MaxMembers != 64 || cfg.MinCoreFrac != 0.5 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}

@@ -1,0 +1,400 @@
+package bundle
+
+import (
+	"repro/internal/filter"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+	"repro/internal/window"
+)
+
+// Config tunes bundle construction and verification.
+type Config struct {
+	// GroupThreshold λ is the minimum similarity between an incoming record
+	// and its best join partner for the record to join that partner's
+	// bundle; below it the record starts a singleton bundle. λ >= the join
+	// threshold τ; λ == τ (the default when zero) groups most aggressively.
+	GroupThreshold float64
+	// MaxMembers caps bundle size so core maintenance stays cheap.
+	// Default 64.
+	MaxMembers int
+	// MinCoreFrac rejects a membership that would shrink the core below
+	// this fraction of the incoming record's length, protecting the
+	// shared-verification benefit. Default 0.5.
+	MinCoreFrac float64
+	// OneByOneVerify disables batch verification: each surviving member is
+	// verified by a full merge of the probe against the member's complete
+	// token set. Used by the E8 ablation.
+	OneByOneVerify bool
+}
+
+func (c Config) withDefaults(tau float64) Config {
+	if c.GroupThreshold == 0 {
+		c.GroupThreshold = tau
+	}
+	if c.MaxMembers == 0 {
+		c.MaxMembers = 64
+	}
+	if c.MinCoreFrac == 0 {
+		c.MinCoreFrac = 0.5
+	}
+	return c
+}
+
+// Match is a verified join result.
+type Match struct {
+	Rec     *record.Record
+	Overlap int
+	Sim     float64
+}
+
+// Stats counts the work the bundle index performed.
+type Stats struct {
+	Records        uint64 // records processed
+	Bundles        uint64 // bundles created
+	Appends        uint64 // records appended to an existing bundle
+	Postings       uint64 // live posting entries
+	Scanned        uint64 // bundle postings visited
+	BundleCands    uint64 // distinct candidate bundles per probe, summed
+	BundleLenSkip  uint64 // bundles skipped entirely by the length range
+	BundleUBSkip   uint64 // bundles skipped entirely by the union bound
+	MemberChecks   uint64 // member upper-bound evaluations
+	MemberUBSkip   uint64 // members skipped by the min(unionO, |y|) bound
+	Verified       uint64 // members fully verified
+	Results        uint64 // matches emitted
+	VerifySteps    uint64 // merge iterations spent verifying (core+delta or full)
+	CoreSteps      uint64 // portion of VerifySteps spent on shared cores
+	Evicted        uint64 // members evicted
+	LiveBundles    uint64
+	LiveMembers    uint64
+	MaxBundleSize  uint64
+	UnionOverlaps  uint64 // union-overlap computations (bundle-level filter)
+	UnionSteps     uint64 // merge iterations spent on union bounds
+	CoreOverlaps   uint64 // distinct core-overlap computations
+	SingletonFast  uint64 // singleton bundles verified directly
+	RebuildSweeps  uint64 // posting sweeps triggered
+	DeadPostSkips  uint64 // dead bundle postings compacted
+	GroupRejectLen uint64 // memberships rejected by MaxMembers/MinCoreFrac
+}
+
+type fifoEntry struct {
+	b *Bundle
+	m *Member
+}
+
+// Index is the bundle-based streaming joiner. Like index.Inverted it is
+// single-writer: each worker bolt owns one.
+type Index struct {
+	params filter.Params
+	win    window.Policy
+	cfg    Config
+
+	posts  map[tokens.Rank][]*Bundle
+	fifo   []fifoEntry
+	head   int
+	nextID uint64
+
+	stats Stats
+
+	// probe scratch
+	seen map[uint64]struct{}
+}
+
+// New returns an empty bundle index.
+func New(p filter.Params, w window.Policy, cfg Config) *Index {
+	return &Index{
+		params: p,
+		win:    w,
+		cfg:    cfg.withDefaults(p.Threshold),
+		posts:  make(map[tokens.Rank][]*Bundle),
+		seen:   make(map[uint64]struct{}),
+	}
+}
+
+// Params returns the join parameters.
+func (bx *Index) Params() filter.Params { return bx.params }
+
+// Config returns the effective configuration after defaulting.
+func (bx *Index) Config() Config { return bx.cfg }
+
+// Stats snapshots the work counters.
+func (bx *Index) Stats() Stats {
+	s := bx.stats
+	s.LiveMembers = uint64(len(bx.fifo) - bx.head)
+	return s
+}
+
+// Process runs one full streaming step for r: evict expired members, probe
+// and verify against live bundles, emit every match, then insert r into the
+// bundle of its most similar match (or a fresh singleton). This is the
+// algorithm the paper's abstract describes: join results guide index
+// construction.
+func (bx *Index) Process(r *record.Record, emit func(Match)) {
+	bx.Evict(r.ID, r.Time)
+	best, ok := bx.Probe(r, emit)
+	if !ok {
+		bx.InsertSingleton(r)
+	} else {
+		bx.Insert(r, best)
+	}
+	bx.stats.Records++
+}
+
+// Evict expires members outside the window relative to (nowSeq, nowTime).
+func (bx *Index) Evict(nowSeq record.ID, nowTime int64) {
+	for bx.head < len(bx.fifo) {
+		fe := bx.fifo[bx.head]
+		rec := fe.m.Rec
+		if bx.win.Live(rec.ID, rec.Time, nowSeq, nowTime) {
+			break
+		}
+		fe.m.dead = true
+		fe.b.live--
+		fe.b.removeDead()
+		bx.fifo[bx.head] = fifoEntry{}
+		bx.head++
+		bx.stats.Evicted++
+	}
+	if bx.head > 64 && bx.head*2 > len(bx.fifo) {
+		bx.fifo = append(bx.fifo[:0], bx.fifo[bx.head:]...)
+		bx.head = 0
+	}
+}
+
+// Probe finds all live records similar to r, emits them, and returns the
+// best match's bundle together with the best similarity (ok=false when
+// there is no match). Verification is exact; emitted overlaps are true
+// intersection sizes.
+func (bx *Index) Probe(r *record.Record, emit func(Match)) (best Insertion, ok bool) {
+	la := r.Len()
+	p := bx.params.PrefixLen(la)
+	for i := 0; i < p; i++ {
+		tok := r.Tokens[i]
+		list, have := bx.posts[tok]
+		if !have {
+			continue
+		}
+		w := 0
+		for _, b := range list {
+			if b.live == 0 {
+				bx.stats.DeadPostSkips++
+				bx.stats.Postings--
+				continue // compact dead bundle posting
+			}
+			list[w] = b
+			w++
+			bx.stats.Scanned++
+			if _, dup := bx.seen[b.ID]; dup {
+				continue
+			}
+			bx.seen[b.ID] = struct{}{}
+			bx.stats.BundleCands++
+			if m, found := bx.probeBundle(r, b, emit); found {
+				if !ok || m.Sim > best.Sim {
+					best, ok = m, true
+				}
+			}
+		}
+		if w == 0 {
+			delete(bx.posts, tok)
+		} else {
+			bx.posts[tok] = list[:w]
+		}
+	}
+	for id := range bx.seen {
+		delete(bx.seen, id)
+	}
+	return best, ok
+}
+
+// Insertion names the bundle an incoming record should join.
+type Insertion struct {
+	Bundle *Bundle
+	Sim    float64
+}
+
+// probeBundle filters and verifies r against one candidate bundle, emitting
+// matches and returning the best-match insertion hint.
+func (bx *Index) probeBundle(r *record.Record, b *Bundle, emit func(Match)) (Insertion, bool) {
+	la := r.Len()
+	// Bundle-level length range check.
+	lo, hi := bx.params.LengthBounds(la)
+	bmin, bmax := b.MinLen(), b.MaxLen()
+	if bmax < lo || bmin > hi {
+		bx.stats.BundleLenSkip++
+		return Insertion{}, false
+	}
+	reqMin := bx.minRequired(la, bmin, bmax, lo, hi)
+
+	// Singleton fast path: the union is the member, so a single
+	// early-terminating merge both filters and verifies.
+	if b.live == 1 {
+		m := firstLive(b)
+		if m == nil {
+			return Insertion{}, false
+		}
+		lb := m.Rec.Len()
+		if lb < lo || lb > hi {
+			return Insertion{}, false
+		}
+		bx.stats.MemberChecks++
+		req := bx.params.RequiredOverlap(la, lb)
+		o, steps, ok := overlapStepsBounded(r.Tokens, m.Rec.Tokens, req)
+		bx.stats.SingletonFast++
+		bx.stats.VerifySteps += uint64(steps)
+		bx.stats.Verified++
+		if !ok {
+			return Insertion{}, false
+		}
+		sim := similarity.FromOverlap(bx.params.Func, o, la, lb)
+		bx.stats.Results++
+		emit(Match{Rec: m.Rec, Overlap: o, Sim: sim})
+		return Insertion{Bundle: b, Sim: sim}, true
+	}
+
+	// Bundle-level union upper bound: overlap(r, y) <= overlap(r, Union)
+	// for every member y. One early-terminating merge prunes the whole
+	// bundle; on success the overlap is exact and reused per member.
+	unionO, usteps, uok := overlapStepsBounded(r.Tokens, b.Union, reqMin)
+	bx.stats.UnionOverlaps++
+	bx.stats.UnionSteps += uint64(usteps)
+	if !uok {
+		bx.stats.BundleUBSkip++
+		return Insertion{}, false
+	}
+
+	var (
+		coreO     int
+		coreSteps int
+		haveCore  bool
+		best      Insertion
+		found     bool
+	)
+	for _, m := range b.Members {
+		if m.dead {
+			continue
+		}
+		lb := m.Rec.Len()
+		if lb < lo || lb > hi {
+			continue
+		}
+		bx.stats.MemberChecks++
+		req := bx.params.RequiredOverlap(la, lb)
+		ub := unionO
+		if lb < ub {
+			ub = lb
+		}
+		if ub < req {
+			bx.stats.MemberUBSkip++
+			continue
+		}
+		var o int
+		if bx.cfg.OneByOneVerify {
+			var steps int
+			o, steps = overlapSteps(r.Tokens, m.Rec.Tokens)
+			bx.stats.VerifySteps += uint64(steps)
+		} else {
+			if !haveCore {
+				coreO, coreSteps = overlapSteps(r.Tokens, b.Core)
+				haveCore = true
+				bx.stats.CoreOverlaps++
+				bx.stats.CoreSteps += uint64(coreSteps)
+				bx.stats.VerifySteps += uint64(coreSteps)
+			}
+			dO, dSteps := overlapSteps(r.Tokens, m.Delta)
+			bx.stats.VerifySteps += uint64(dSteps)
+			o = coreO + dO
+		}
+		bx.stats.Verified++
+		if o < req {
+			continue
+		}
+		sim := similarity.FromOverlap(bx.params.Func, o, la, lb)
+		bx.stats.Results++
+		emit(Match{Rec: m.Rec, Overlap: o, Sim: sim})
+		if !found || sim > best.Sim {
+			best, found = Insertion{Bundle: b, Sim: sim}, true
+		}
+	}
+	return best, found
+}
+
+// Dump visits every live member record in arrival order; returning false
+// stops the walk.
+func (bx *Index) Dump(visit func(*record.Record) bool) {
+	for i := bx.head; i < len(bx.fifo); i++ {
+		fe := bx.fifo[i]
+		if fe.m == nil || fe.m.dead {
+			continue
+		}
+		if !visit(fe.m.Rec) {
+			return
+		}
+	}
+}
+
+// firstLive returns the first live member (nil when none).
+func firstLive(b *Bundle) *Member {
+	for _, m := range b.Members {
+		if !m.dead {
+			return m
+		}
+	}
+	return nil
+}
+
+// minRequired returns the smallest required overlap over member lengths in
+// [max(bmin,lo), min(bmax,hi)]. For all supported functions the required
+// overlap is nondecreasing in partner length, so the minimum is at the
+// smallest compatible length.
+func (bx *Index) minRequired(la, bmin, bmax, lo, hi int) int {
+	l := bmin
+	if lo > l {
+		l = lo
+	}
+	return bx.params.RequiredOverlap(la, l)
+}
+
+// InsertSingleton places r into a fresh singleton bundle (the no-match
+// insertion path).
+func (bx *Index) InsertSingleton(r *record.Record) {
+	bx.Insert(r, Insertion{})
+}
+
+// Insert places r into best's bundle when grouping conditions hold,
+// otherwise into a fresh singleton bundle, and extends the posting lists
+// with the record's unposted prefix tokens.
+func (bx *Index) Insert(r *record.Record, best Insertion) {
+	p := bx.params.PrefixLen(r.Len())
+	var target *Bundle
+	if best.Bundle != nil && best.Sim >= bx.cfg.GroupThreshold-1e-12 {
+		b := best.Bundle
+		if b.live < bx.cfg.MaxMembers {
+			newCore := intersect(b.Core, r.Tokens)
+			if float64(len(newCore)) >= bx.cfg.MinCoreFrac*float64(r.Len()) {
+				target = b
+			} else {
+				bx.stats.GroupRejectLen++
+			}
+		} else {
+			bx.stats.GroupRejectLen++
+		}
+	}
+	if target == nil {
+		bx.nextID++
+		target = &Bundle{ID: bx.nextID}
+		bx.stats.Bundles++
+		bx.stats.LiveBundles++
+	} else {
+		bx.stats.Appends++
+	}
+	newPosts := target.add(r, p)
+	for _, tok := range newPosts {
+		bx.posts[tok] = append(bx.posts[tok], target)
+	}
+	bx.stats.Postings += uint64(len(newPosts))
+	if uint64(target.live) > bx.stats.MaxBundleSize {
+		bx.stats.MaxBundleSize = uint64(target.live)
+	}
+	bx.fifo = append(bx.fifo, fifoEntry{b: target, m: target.Members[len(target.Members)-1]})
+}

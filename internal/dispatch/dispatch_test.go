@@ -1,0 +1,291 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/partition"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+	"repro/internal/workload"
+)
+
+func params(tau float64) filter.Params {
+	return filter.Params{Func: similarity.Jaccard, Threshold: tau}
+}
+
+func testPartition(maxLen, k int) partition.Partition {
+	return partition.EvenLength(maxLen, k)
+}
+
+func rec(id record.ID, ranks ...tokens.Rank) *record.Record {
+	return &record.Record{ID: id, Time: int64(id), Tokens: tokens.Dedup(ranks)}
+}
+
+func TestLengthBasedStoresAtExactlyOneWorker(t *testing.T) {
+	s := NewLengthBased(params(0.8), testPartition(100, 4))
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(90)
+		set := make([]tokens.Rank, 0, n)
+		for len(set) < n {
+			set = append(set, tokens.Rank(rng.Intn(100000)))
+			set = tokens.Dedup(set)
+		}
+		r := rec(record.ID(trial), set...)
+		stores := 0
+		for w := 0; w < 4; w++ {
+			if s.Stores(r, w, 4) {
+				stores++
+			}
+		}
+		if stores != 1 {
+			t.Fatalf("record of len %d stored at %d workers", r.Len(), stores)
+		}
+	}
+}
+
+func TestLengthBasedRouteCoversHomeWorker(t *testing.T) {
+	s := NewLengthBased(params(0.7), testPartition(60, 5))
+	for l := 1; l <= 60; l++ {
+		set := make([]tokens.Rank, l)
+		for i := range set {
+			set[i] = tokens.Rank(i)
+		}
+		r := rec(0, set...)
+		dests := s.Route(r, 5, nil)
+		home := s.Partition.WorkerOf(r.Len())
+		found := false
+		for _, d := range dests {
+			if d == home {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("len %d: home %d not in route %v", l, home, dests)
+		}
+	}
+}
+
+func TestLengthBasedFanoutShrinksWithThreshold(t *testing.T) {
+	part := testPartition(100, 8)
+	low := NewLengthBased(params(0.5), part)
+	high := NewLengthBased(params(0.9), part)
+	set := make([]tokens.Rank, 40)
+	for i := range set {
+		set[i] = tokens.Rank(i)
+	}
+	r := rec(0, set...)
+	if l, h := len(low.Route(r, 8, nil)), len(high.Route(r, 8, nil)); h > l {
+		t.Fatalf("fan-out should shrink with τ: low=%d high=%d", l, h)
+	}
+}
+
+func TestPrefixBasedRouteDedupsWorkers(t *testing.T) {
+	s := PrefixBased{Params: params(0.5)}
+	set := make([]tokens.Rank, 20)
+	for i := range set {
+		set[i] = tokens.Rank(i)
+	}
+	r := rec(0, set...)
+	dests := s.Route(r, 3, nil)
+	seen := map[int]bool{}
+	for _, d := range dests {
+		if seen[d] {
+			t.Fatalf("duplicate destination %d in %v", d, dests)
+		}
+		seen[d] = true
+		if d < 0 || d >= 3 {
+			t.Fatalf("destination out of range: %d", d)
+		}
+	}
+}
+
+func TestPrefixEmitsExactlyOnce(t *testing.T) {
+	s := PrefixBased{Params: params(0.6)}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		a := randomRec(rng, record.ID(2*trial))
+		b := randomRec(rng, record.ID(2*trial+1))
+		if similarity.Of(similarity.Jaccard, a.Tokens, b.Tokens) < 0.6 {
+			continue
+		}
+		k := 2 + rng.Intn(6)
+		emitters := 0
+		var owner int
+		for w := 0; w < k; w++ {
+			if s.Emits(a, b, w, k) {
+				emitters++
+				owner = w
+			}
+		}
+		if emitters != 1 {
+			t.Fatalf("pair emitted by %d workers", emitters)
+		}
+		// The owner must be a routed destination of both records —
+		// otherwise the emitting worker would not hold them.
+		if !contains(s.Route(a, k, nil), owner) || !contains(s.Route(b, k, nil), owner) {
+			t.Fatalf("emitting worker %d not routed both records", owner)
+		}
+	}
+}
+
+func TestBroadcastBasics(t *testing.T) {
+	s := BroadcastBased{}
+	r := rec(5, 1, 2, 3)
+	dests := s.Route(r, 4, nil)
+	if len(dests) != 4 {
+		t.Fatalf("broadcast route: %v", dests)
+	}
+	stores := 0
+	for w := 0; w < 4; w++ {
+		if s.Stores(r, w, 4) {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Fatalf("broadcast stored at %d workers", stores)
+	}
+}
+
+// TestStrategyCompletenessAndUniqueness simulates the worker protocol for
+// each strategy over a random stream and checks, against brute force, that
+// every similar pair is found exactly once.
+func TestStrategyCompletenessAndUniqueness(t *testing.T) {
+	tau := 0.6
+	p := params(tau)
+	gen := workload.NewGenerator(workload.UniformSmall(77))
+	recs := gen.Generate(400)
+	var h partition.Histogram
+	for _, r := range recs {
+		h.Add(r.Len())
+	}
+	for _, k := range []int{1, 3, 5} {
+		strategies := []Strategy{
+			NewLengthBased(p, partition.EvenFrequency(&h, k)),
+			PrefixBased{Params: p},
+			BroadcastBased{},
+		}
+		for _, s := range strategies {
+			found := simulate(t, s, p, recs, k)
+			want := brute(recs, tau)
+			if len(found) != len(want) {
+				t.Fatalf("%s k=%d: found %d pairs want %d", s.Name(), k, len(found), len(want))
+			}
+			for pr, n := range found {
+				if n != 1 {
+					t.Fatalf("%s k=%d: pair %v found %d times", s.Name(), k, pr, n)
+				}
+				if !want[pr] {
+					t.Fatalf("%s k=%d: spurious pair %v", s.Name(), k, pr)
+				}
+			}
+		}
+	}
+}
+
+// simulate runs the worker protocol sequentially: for each record, in
+// arrival order, deliver to routed workers; each worker probes its local
+// store (naive verification) and stores when Stores says so.
+func simulate(t *testing.T, s Strategy, p filter.Params, recs []*record.Record, k int) map[record.Pair]int {
+	t.Helper()
+	stores := make([][]*record.Record, k)
+	found := make(map[record.Pair]int)
+	for _, r := range recs {
+		dests := s.Route(r, k, nil)
+		for _, w := range dests {
+			for _, y := range stores[w] {
+				if y.ID == r.ID {
+					continue
+				}
+				if similarity.Of(p.Func, r.Tokens, y.Tokens) >= p.Threshold-1e-12 &&
+					s.Emits(r, y, w, k) {
+					found[record.NewPair(r.ID, y.ID, 0)]++
+				}
+			}
+			if s.Stores(r, w, k) {
+				stores[w] = append(stores[w], r)
+			}
+		}
+	}
+	return found
+}
+
+func brute(recs []*record.Record, tau float64) map[record.Pair]bool {
+	out := make(map[record.Pair]bool)
+	for i, r := range recs {
+		for j := 0; j < i; j++ {
+			if similarity.Of(similarity.Jaccard, r.Tokens, recs[j].Tokens) >= tau-1e-12 {
+				out[record.NewPair(r.ID, recs[j].ID, 0)] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestReplicationFactors(t *testing.T) {
+	// Length-based stores each record once; prefix-based stores multiple
+	// copies; broadcast stores once but routes k copies.
+	p := params(0.7)
+	gen := workload.NewGenerator(workload.TweetLike(5))
+	recs := gen.Generate(500)
+	var h partition.Histogram
+	for _, r := range recs {
+		h.Add(r.Len())
+	}
+	k := 8
+	lb := NewLengthBased(p, partition.EvenFrequency(&h, k))
+	pb := PrefixBased{Params: p}
+	storedCopies := func(s Strategy) int {
+		n := 0
+		for _, r := range recs {
+			for _, w := range s.Route(r, k, nil) {
+				if s.Stores(r, w, k) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if got := storedCopies(lb); got != len(recs) {
+		t.Fatalf("length-based stored copies: %d want %d", got, len(recs))
+	}
+	if got := storedCopies(pb); got <= len(recs) {
+		t.Fatalf("prefix-based should replicate: %d copies of %d", got, len(recs))
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	p := params(0.8)
+	part := testPartition(10, 2)
+	for _, name := range []string{"length", "prefix", "broadcast"} {
+		s, err := ParseStrategy(name, p, part)
+		if err != nil || s.Name() != name {
+			t.Fatalf("%s: %v %v", name, s, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus", p, part); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func randomRec(rng *rand.Rand, id record.ID) *record.Record {
+	n := 3 + rng.Intn(10)
+	set := make([]tokens.Rank, 0, n)
+	for len(set) < n {
+		set = append(set, tokens.Rank(rng.Intn(40)))
+		set = tokens.Dedup(set)
+	}
+	return rec(id, set...)
+}

@@ -1,0 +1,169 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// driftStream produces a stream whose length distribution shifts halfway:
+// phase A short records, phase B long records.
+func driftStream(n int) []*record.Record {
+	a := workload.NewGenerator(workload.AOLLike(5)).Generate(n / 2)
+	b := workload.NewGenerator(workload.EnronLike(5)).Generate(n - n/2)
+	out := append([]*record.Record{}, a...)
+	for i, r := range b {
+		r.ID = record.ID(n/2 + i)
+		r.Time = int64(r.ID)
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestMigrationPreservesCompleteness runs the worker-protocol simulation
+// across a live repartition at the phase boundary with a count window, and
+// checks against brute force that nothing is lost or duplicated — the
+// correctness property live repartitioning must provide.
+func TestMigrationPreservesCompleteness(t *testing.T) {
+	const (
+		n    = 600
+		k    = 4
+		tau  = 0.7
+		winN = 150
+	)
+	p := params(tau)
+	recs := driftStream(n)
+	win := window.Count{N: winN}
+
+	// Old partition fitted to phase A, new partition fitted to phase B.
+	var hA, hB partition.Histogram
+	for _, r := range recs[:n/2] {
+		hA.Add(r.Len())
+	}
+	for _, r := range recs[n/2:] {
+		hB.Add(r.Len())
+	}
+	wA := partition.CostModel{Params: p}.Weights(&hA)
+	wB := partition.CostModel{Params: p}.Weights(&hB)
+	mig := PlanMigration(p,
+		partition.LoadAware(wA, k),
+		partition.LoadAware(wB, k),
+		record.ID(n/2), winN)
+
+	// Simulate the worker protocol with windowed stores.
+	stores := make([][]*record.Record, k)
+	found := make(map[record.Pair]int)
+	for _, r := range recs {
+		dests := mig.Route(r, k, nil)
+		for _, w := range dests {
+			live := stores[w][:0]
+			for _, y := range stores[w] {
+				if win.Live(y.ID, y.Time, r.ID, r.Time) {
+					live = append(live, y)
+				}
+			}
+			stores[w] = live
+			for _, y := range stores[w] {
+				if similarity.Of(p.Func, r.Tokens, y.Tokens) >= tau-1e-12 &&
+					mig.Emits(r, y, w, k) {
+					found[record.NewPair(r.ID, y.ID, 0)]++
+				}
+			}
+			if mig.Stores(r, w, k) {
+				stores[w] = append(stores[w], r)
+			}
+		}
+	}
+
+	want := make(map[record.Pair]bool)
+	for i, r := range recs {
+		for j := 0; j < i; j++ {
+			s := recs[j]
+			if !win.Live(s.ID, s.Time, r.ID, r.Time) {
+				continue
+			}
+			if similarity.Of(p.Func, r.Tokens, s.Tokens) >= tau-1e-12 {
+				want[record.NewPair(r.ID, s.ID, 0)] = true
+			}
+		}
+	}
+	if len(found) != len(want) {
+		t.Fatalf("found %d pairs want %d", len(found), len(want))
+	}
+	for pr, c := range found {
+		if c != 1 {
+			t.Fatalf("pair %v found %d times", pr, c)
+		}
+		if !want[pr] {
+			t.Fatalf("spurious pair %v", pr)
+		}
+	}
+}
+
+func TestMigrationStoresAtExactlyOneWorker(t *testing.T) {
+	p := params(0.8)
+	old := partition.EvenLength(50, 4)
+	new := partition.EvenLength(200, 4)
+	mig := PlanMigration(p, old, new, 100, 50)
+	for _, id := range []record.ID{0, 99, 100, 140, 10_000} {
+		set := make([]uint32, 30)
+		for i := range set {
+			set[i] = uint32(i)
+		}
+		r := rec(id, set...)
+		stores := 0
+		for w := 0; w < 4; w++ {
+			if mig.Stores(r, w, 4) {
+				stores++
+			}
+		}
+		if stores != 1 {
+			t.Fatalf("record %d stored at %d workers", id, stores)
+		}
+	}
+}
+
+func TestMigrationRouteDropsOldAfterTransition(t *testing.T) {
+	p := params(0.8)
+	// Old and new partitions differ wildly.
+	old := partition.Partition{Bounds: []int{5, 10, 20, 1000}}
+	new := partition.Partition{Bounds: []int{100, 200, 300, 1000}}
+	mig := PlanMigration(p, old, new, 100, 50)
+	set := make([]uint32, 30)
+	for i := range set {
+		set[i] = uint32(i)
+	}
+	during := mig.Route(rec(120, set...), 4, nil)
+	after := mig.Route(rec(200, set...), 4, nil)
+	if len(after) >= len(during) {
+		t.Fatalf("old routes not dropped: during=%v after=%v", during, after)
+	}
+	newOnly := mig.New.Route(rec(200, set...), 4, nil)
+	if len(after) != len(newOnly) {
+		t.Fatalf("post-transition route differs from new partition: %v vs %v", after, newOnly)
+	}
+}
+
+func TestMigrationPreSwitchUsesOldRoutes(t *testing.T) {
+	p := params(0.8)
+	old := partition.Partition{Bounds: []int{5, 1000}}
+	new := partition.Partition{Bounds: []int{500, 1000}}
+	mig := PlanMigration(p, old, new, 100, 50)
+	set := make([]uint32, 30)
+	for i := range set {
+		set[i] = uint32(i)
+	}
+	r := rec(50, set...)
+	got := mig.Route(r, 2, nil)
+	want := mig.Old.Route(r, 2, nil)
+	if len(got) != len(want) {
+		t.Fatalf("pre-switch route: %v vs %v", got, want)
+	}
+	if mig.Name() != "length-migrating" {
+		t.Fatal("name")
+	}
+}

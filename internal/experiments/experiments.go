@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dispatch"
+	"repro/internal/filter"
+	"repro/internal/local"
+	"repro/internal/partition"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/topology"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// Scale sizes an experiment run. The defaults (via DefaultScale) regenerate
+// publication-shaped results in seconds on a laptop; tests shrink them.
+type Scale struct {
+	// Records per run.
+	Records int
+	// Workers for distributed runs (sweeps override).
+	Workers int
+	// Seed for workload generation.
+	Seed int64
+}
+
+// DefaultScale is the CLI default.
+func DefaultScale() Scale { return Scale{Records: 20000, Workers: 8, Seed: 42} }
+
+// Experiment is a runnable paper artefact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) *Table
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Dataset statistics (paper Table 1)", T1},
+		{"E1", "Throughput vs threshold per framework", E1},
+		{"E2", "Scalability: throughput vs workers", E2},
+		{"E3", "Communication cost vs threshold", E3},
+		{"E4", "Replication factor and index size", E4},
+		{"E5", "Partitioner load imbalance", E5},
+		{"E6", "Throughput by partitioner", E6},
+		{"E7", "Bundle join vs record-at-a-time", E7},
+		{"E8", "Batch vs one-by-one verification", E8},
+		{"E9", "Bundle grouping-threshold sweep", E9},
+		{"E9b", "Bundle size-cap sweep", E9b},
+		{"E10", "Processing latency per framework", E10},
+		{"E11", "Window size sweep", E11},
+		{"E12", "Similarity-function generality", E12},
+		{"E13", "Adaptive repartitioning under drift (extension)", E13},
+		{"E14", "In-process engine vs TCP worker fleet (extension)", E14},
+		{"E15", "Streaming vs offline join (extension)", E15},
+		{"E16", "Throughput vs simulated network cost (extension)", E16},
+		{"E17", "Exact prefix join vs MinHash-LSH (extension)", E17},
+		{"E18", "Dispatcher parallelism with reorder buffers (extension)", E18},
+		{"E19", "Token-ordering refresh under vocabulary drift (extension)", E19},
+	}
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// jaccard builds the default filter parameters.
+func jaccard(tau float64) filter.Params {
+	return filter.Params{Func: similarity.Jaccard, Threshold: tau}
+}
+
+// histogramOf builds a length histogram from the records themselves (the
+// harness equivalent of the bootstrap sample).
+func histogramOf(recs []*record.Record) *partition.Histogram {
+	var h partition.Histogram
+	for _, r := range recs {
+		h.Add(r.Len())
+	}
+	return &h
+}
+
+// strategyFor materializes a named strategy for the given stream.
+func strategyFor(name string, p filter.Params, recs []*record.Record, k int) dispatch.Strategy {
+	switch name {
+	case "length":
+		h := histogramOf(recs)
+		w := partition.CostModel{Params: p}.Weights(h)
+		return dispatch.NewLengthBased(p, partition.LoadAware(w, k))
+	case "prefix":
+		return dispatch.PrefixBased{Params: p}
+	case "broadcast":
+		return dispatch.BroadcastBased{}
+	default:
+		panic("experiments: unknown strategy " + name)
+	}
+}
+
+var frameworkNames = []string{"length", "prefix", "broadcast"}
+
+// runTopology executes one distributed join and returns its result.
+func runTopology(recs []*record.Record, strat dispatch.Strategy, p filter.Params, k int, alg local.Algorithm, win window.Policy) *topology.Result {
+	res, err := topology.Run(recs, topology.Config{
+		Workers:   k,
+		Strategy:  strat,
+		Algorithm: alg,
+		Params:    p,
+		Window:    win,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: topology run failed: %v", err))
+	}
+	return res
+}
+
+// genProfile materializes records for a profile at scale.
+func genProfile(p workload.Profile, n int) []*record.Record {
+	return workload.NewGenerator(p).Generate(n)
+}
+
+// sumVerify sums per-worker verification work for load analysis.
+func workerLoads(res *topology.Result) []float64 {
+	loads := make([]float64, len(res.WorkerCosts))
+	for i, c := range res.WorkerCosts {
+		loads[i] = float64(c.VerifySteps + c.Scanned)
+	}
+	return loads
+}
+
+// sortedCopy returns a sorted copy of xs (descending) for reporting.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

@@ -1,0 +1,159 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+)
+
+func jacc(tau float64) Params {
+	return Params{Func: similarity.Jaccard, Threshold: tau}
+}
+
+func TestLengthBounds(t *testing.T) {
+	p := jacc(0.8)
+	lo, hi := p.LengthBounds(10)
+	if lo != 8 || hi != 12 {
+		t.Fatalf("bounds: got [%d,%d] want [8,12]", lo, hi)
+	}
+	lo, _ = p.LengthBounds(0)
+	if lo != 1 {
+		t.Fatalf("empty record lower bound clamps to 1, got %d", lo)
+	}
+}
+
+func TestLengthCompatibleSymmetryProperty(t *testing.T) {
+	// Jaccard length compatibility must be symmetric: lb in bounds(la) iff
+	// la in bounds(lb).
+	rng := rand.New(rand.NewSource(1))
+	p := jacc(0.7)
+	for i := 0; i < 2000; i++ {
+		la, lb := 1+rng.Intn(100), 1+rng.Intn(100)
+		if p.LengthCompatible(la, lb) != p.LengthCompatible(lb, la) {
+			t.Fatalf("asymmetric at la=%d lb=%d", la, lb)
+		}
+	}
+}
+
+func TestPositionOK(t *testing.T) {
+	p := jacc(0.8)
+	// la=lb=10, required overlap 9. Collision at first positions, acc=1:
+	// remaining min suffix = 9, so 1+9 = 10 >= 9 → keep.
+	if !p.PositionOK(10, 10, 0, 0, 1) {
+		t.Fatal("early collision should pass position filter")
+	}
+	// Collision at positions (2,2) with acc=1: remaining = 7, 1+7=8 < 9 → prune.
+	if p.PositionOK(10, 10, 2, 2, 1) {
+		t.Fatal("late first collision should be pruned")
+	}
+}
+
+func TestPositionFilterIsConservative(t *testing.T) {
+	// Generate random similar pairs; at their true first-collision point
+	// the position filter must never prune them.
+	rng := rand.New(rand.NewSource(9))
+	p := jacc(0.75)
+	for trial := 0; trial < 500; trial++ {
+		a := randomSet(rng, 3+rng.Intn(15), 30)
+		b := randomSet(rng, 3+rng.Intn(15), 30)
+		if similarity.Of(similarity.Jaccard, a, b) < p.Threshold {
+			continue
+		}
+		ia, ib, found := firstCollision(a, b)
+		if !found {
+			t.Fatal("similar pair with no collision — impossible")
+		}
+		if !p.PositionOK(len(a), len(b), ia, ib, 1) {
+			t.Fatalf("position filter pruned a true pair: a=%v b=%v", a, b)
+		}
+	}
+}
+
+func firstCollision(a, b []tokens.Rank) (int, int, bool) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return i, j, true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return 0, 0, false
+}
+
+func TestSuffixBoundNeverUnderestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 1000; trial++ {
+		a := randomSet(rng, rng.Intn(20), 40)
+		b := randomSet(rng, rng.Intn(20), 40)
+		truth := similarity.IntersectSize(a, b)
+		for depth := 0; depth <= 4; depth++ {
+			if bound := SuffixBound(a, b, depth); bound < truth {
+				t.Fatalf("depth %d: bound %d < truth %d for a=%v b=%v",
+					depth, bound, truth, a, b)
+			}
+		}
+	}
+}
+
+func TestSuffixBoundTightensWithDepth(t *testing.T) {
+	a := []tokens.Rank{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []tokens.Rank{9, 10, 11, 12, 13, 14, 15, 16}
+	// Disjoint sets: depth 0 gives min length 8, deeper bounds must shrink.
+	b0 := SuffixBound(a, b, 0)
+	b3 := SuffixBound(a, b, 3)
+	if b0 != 8 {
+		t.Fatalf("depth 0 bound: got %d want 8", b0)
+	}
+	if b3 >= b0 {
+		t.Fatalf("deeper bound %d not tighter than %d", b3, b0)
+	}
+}
+
+func TestSuffixOKConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := jacc(0.8)
+	for trial := 0; trial < 500; trial++ {
+		a := randomSet(rng, 4+rng.Intn(12), 24)
+		b := randomSet(rng, 4+rng.Intn(12), 24)
+		if similarity.Of(similarity.Jaccard, a, b) < p.Threshold {
+			continue
+		}
+		ia, ib, found := firstCollision(a, b)
+		if !found {
+			continue
+		}
+		// acc=1 at the collision; suffixes start right after it.
+		if !p.SuffixOK(a, b, ia+1, ib+1, 1, 3) {
+			t.Fatalf("suffix filter pruned a true pair: a=%v b=%v", a, b)
+		}
+	}
+}
+
+func TestPrefixLenDelegates(t *testing.T) {
+	p := jacc(0.8)
+	if got := p.PrefixLen(10); got != 3 {
+		t.Fatalf("got %d want 3", got)
+	}
+	if got := p.RequiredOverlap(10, 10); got != 9 {
+		t.Fatalf("got %d want 9", got)
+	}
+}
+
+func randomSet(rng *rand.Rand, n, universe int) []tokens.Rank {
+	seen := make(map[tokens.Rank]bool)
+	out := make([]tokens.Rank, 0, n)
+	for len(out) < n {
+		r := tokens.Rank(rng.Intn(universe))
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return tokens.Dedup(out)
+}

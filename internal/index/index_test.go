@@ -1,0 +1,272 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+	"repro/internal/window"
+)
+
+func params(tau float64) filter.Params {
+	return filter.Params{Func: similarity.Jaccard, Threshold: tau}
+}
+
+func rec(id record.ID, ranks ...tokens.Rank) *record.Record {
+	return &record.Record{ID: id, Time: int64(id), Tokens: tokens.Dedup(ranks)}
+}
+
+func TestInsertProbeFindsExactDuplicate(t *testing.T) {
+	ix := New(params(0.9), window.Unbounded{})
+	a := rec(0, 1, 2, 3, 4, 5)
+	ix.Insert(a)
+	b := rec(1, 1, 2, 3, 4, 5)
+	var got []record.ID
+	ix.Probe(b, func(c Candidate) { got = append(got, c.Rec.ID) })
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("probe: got %v want [0]", got)
+	}
+}
+
+func TestProbeSkipsSelf(t *testing.T) {
+	ix := New(params(0.5), window.Unbounded{})
+	a := rec(7, 1, 2, 3)
+	ix.Insert(a)
+	count := 0
+	ix.Probe(a, func(Candidate) { count++ })
+	if count != 0 {
+		t.Fatalf("self probe produced %d candidates", count)
+	}
+}
+
+func TestLengthFilterPrunes(t *testing.T) {
+	ix := New(params(0.9), window.Unbounded{})
+	// Length 2 vs length 10 can never reach Jaccard 0.9, even sharing a
+	// prefix token.
+	ix.Insert(rec(0, 1, 2))
+	probe := rec(1, 1, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+	count := 0
+	ix.Probe(probe, func(Candidate) { count++ })
+	if count != 0 {
+		t.Fatalf("length-incompatible candidate emitted (%d)", count)
+	}
+	if ix.Stats().LenPruned == 0 {
+		t.Fatal("length filter never fired")
+	}
+}
+
+func TestWindowEvictionRemovesPartners(t *testing.T) {
+	ix := New(params(0.8), window.Count{N: 2})
+	a := rec(0, 1, 2, 3, 4)
+	ix.Insert(a)
+	// Advance the stream: records 1,2,3 arrive. With N=2 record 0 dies at
+	// seq 3.
+	ix.Evict(3, 3)
+	probe := rec(3, 1, 2, 3, 4)
+	count := 0
+	ix.Probe(probe, func(Candidate) { count++ })
+	if count != 0 {
+		t.Fatalf("evicted record still probed (%d candidates)", count)
+	}
+	if ix.Stats().Evicted != 1 {
+		t.Fatalf("evicted: got %d want 1", ix.Stats().Evicted)
+	}
+}
+
+func TestLazyCompactionShrinksPostings(t *testing.T) {
+	ix := New(params(0.8), window.Count{N: 1})
+	// Two records sharing prefix token 1.
+	ix.Insert(rec(0, 1, 2, 3, 4))
+	ix.Insert(rec(1, 1, 2, 3, 5))
+	before := ix.PostingsLen(1)
+	if before == 0 {
+		t.Fatal("expected postings under token 1")
+	}
+	ix.Evict(5, 5) // both dead
+	probe := rec(5, 1, 2, 3, 4)
+	ix.Probe(probe, func(Candidate) {})
+	if after := ix.PostingsLen(1); after != 0 {
+		t.Fatalf("postings not compacted: %d -> %d", before, after)
+	}
+}
+
+func TestSweepReclaimsUnprobedPostings(t *testing.T) {
+	ix := New(params(0.8), window.Count{N: 1})
+	// Insert many records with disjoint tokens so probes never touch them,
+	// then let them all die: the sweep heuristic must reclaim postings.
+	for i := 0; i < 3000; i++ {
+		base := tokens.Rank(10 * i)
+		ix.Insert(rec(record.ID(i), base, base+1, base+2, base+3))
+	}
+	ix.Evict(100000, 100000)
+	if got := ix.Stats().Postings; got != 0 {
+		t.Fatalf("postings after sweep: got %d want 0", got)
+	}
+}
+
+func TestProbeEmitsCandidateOnce(t *testing.T) {
+	ix := New(params(0.5), window.Unbounded{})
+	// Candidate shares several prefix tokens with the probe; it must be
+	// emitted exactly once with the accumulated overlap.
+	ix.Insert(rec(0, 1, 2, 3, 4, 5, 6))
+	probe := rec(1, 1, 2, 3, 4, 5, 7)
+	var cands []Candidate
+	ix.Probe(probe, func(c Candidate) { cands = append(cands, c) })
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates want 1", len(cands))
+	}
+	c := cands[0]
+	if c.Overlap < 1 {
+		t.Fatalf("bad accumulated overlap %d", c.Overlap)
+	}
+	// Resuming verification must yield the true overlap (5).
+	req := ix.Params().RequiredOverlap(probe.Len(), c.Rec.Len())
+	o, ok := similarity.VerifyOverlapFrom(probe.Tokens, c.Rec.Tokens, c.ResumeA, c.ResumeB, c.Overlap, req)
+	if !ok || o != 5 {
+		t.Fatalf("resumed verification: got (%d,%v) want (5,true)", o, ok)
+	}
+}
+
+// TestStreamingJoinMatchesBruteForce is the end-to-end correctness check:
+// probing then inserting each record of a random stream and verifying the
+// candidates must produce exactly the brute-force result set, for several
+// thresholds and window sizes.
+func TestStreamingJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tau := range []float64{0.5, 0.6, 0.75, 0.9} {
+		for _, win := range []window.Policy{window.Unbounded{}, window.Count{N: 20}} {
+			p := params(tau)
+			ix := New(p, win)
+			var stream []*record.Record
+			for i := 0; i < 250; i++ {
+				n := 2 + rng.Intn(12)
+				set := make([]tokens.Rank, 0, n)
+				for len(set) < n {
+					set = append(set, tokens.Rank(rng.Intn(60)))
+				}
+				stream = append(stream, rec(record.ID(i), set...))
+			}
+			got := make(map[record.Pair]bool)
+			for _, r := range stream {
+				ix.Evict(r.ID, r.Time)
+				ix.Probe(r, func(c Candidate) {
+					req := p.RequiredOverlap(r.Len(), c.Rec.Len())
+					o, ok := similarity.VerifyOverlapFrom(
+						r.Tokens, c.Rec.Tokens, c.ResumeA, c.ResumeB, c.Overlap, req)
+					if !ok {
+						return
+					}
+					sim := similarity.FromOverlap(similarity.Jaccard, o, r.Len(), c.Rec.Len())
+					got[record.NewPair(r.ID, c.Rec.ID, 0)] = true
+					_ = sim
+				})
+				ix.Insert(r)
+			}
+			want := bruteForce(stream, tau, win)
+			if len(got) != len(want) {
+				t.Fatalf("τ=%v win=%v: got %d pairs want %d\nmissing=%v extra=%v",
+					tau, win, len(got), len(want), diff(want, got), diff(got, want))
+			}
+			for pr := range want {
+				if !got[pr] {
+					t.Fatalf("τ=%v win=%v: missing pair %v", tau, win, pr)
+				}
+			}
+		}
+	}
+}
+
+func bruteForce(stream []*record.Record, tau float64, win window.Policy) map[record.Pair]bool {
+	out := make(map[record.Pair]bool)
+	for i, r := range stream {
+		for j := 0; j < i; j++ {
+			s := stream[j]
+			if !win.Live(s.ID, s.Time, r.ID, r.Time) {
+				continue
+			}
+			if similarity.Of(similarity.Jaccard, r.Tokens, s.Tokens) >= tau-1e-12 {
+				out[record.NewPair(r.ID, s.ID, 0)] = true
+			}
+		}
+	}
+	return out
+}
+
+func diff(a, b map[record.Pair]bool) []record.Pair {
+	var out []record.Pair
+	for p := range a {
+		if !b[p] {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First != out[j].First {
+			return out[i].First < out[j].First
+		}
+		return out[i].Second < out[j].Second
+	})
+	if len(out) > 5 {
+		out = out[:5]
+	}
+	return out
+}
+
+func TestStatsAccounting(t *testing.T) {
+	ix := New(params(0.8), window.Unbounded{})
+	ix.Insert(rec(0, 1, 2, 3, 4, 5))
+	st := ix.Stats()
+	if st.Inserted != 1 {
+		t.Fatalf("inserted: %d", st.Inserted)
+	}
+	p := ix.Params().PrefixLen(5)
+	if st.Postings != uint64(p) {
+		t.Fatalf("postings: got %d want %d", st.Postings, p)
+	}
+}
+
+func TestPositionFilterAblation(t *testing.T) {
+	// Disabling the position filter must not change results, only raise
+	// the candidate count.
+	rng := rand.New(rand.NewSource(77))
+	var stream []*record.Record
+	for i := 0; i < 400; i++ {
+		n := 3 + rng.Intn(10)
+		set := make([]tokens.Rank, 0, n)
+		for len(set) < n {
+			set = append(set, tokens.Rank(rng.Intn(80)))
+			set = tokens.Dedup(set)
+		}
+		stream = append(stream, rec(record.ID(i), set...))
+	}
+	run := func(disable bool) (uint64, int) {
+		ix := New(params(0.7), window.Unbounded{})
+		if disable {
+			ix.DisablePositionFilter()
+		}
+		results := 0
+		for _, r := range stream {
+			ix.Evict(r.ID, r.Time)
+			ix.Probe(r, func(c Candidate) {
+				req := ix.Params().RequiredOverlap(r.Len(), c.Rec.Len())
+				if _, ok := similarity.VerifyOverlapFrom(
+					r.Tokens, c.Rec.Tokens, c.ResumeA, c.ResumeB, c.Overlap, req); ok {
+					results++
+				}
+			})
+			ix.Insert(r)
+		}
+		return ix.Stats().Candidates, results
+	}
+	candOn, resOn := run(false)
+	candOff, resOff := run(true)
+	if resOn != resOff {
+		t.Fatalf("results changed: %d vs %d", resOn, resOff)
+	}
+	if candOff <= candOn {
+		t.Fatalf("position filter pruned nothing: on=%d off=%d", candOn, candOff)
+	}
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	var l Latency
+	if l.Count() != 0 || l.Mean() != 0 || l.Quantile(0.5) != 0 {
+		t.Fatal("zero value not empty")
+	}
+	l.Observe(100 * time.Microsecond)
+	l.Observe(200 * time.Microsecond)
+	l.Observe(300 * time.Microsecond)
+	if l.Count() != 3 {
+		t.Fatalf("count: %d", l.Count())
+	}
+	if got, want := l.Mean(), 200*time.Microsecond; got != want {
+		t.Fatalf("mean: %v", got)
+	}
+	if l.Max() != 300*time.Microsecond {
+		t.Fatalf("max: %v", l.Max())
+	}
+}
+
+func TestLatencyNegativeClamped(t *testing.T) {
+	var l Latency
+	l.Observe(-5)
+	if l.Count() != 1 || l.Max() != 0 {
+		t.Fatal("negative duration not clamped")
+	}
+}
+
+func TestQuantileWithinBucketError(t *testing.T) {
+	var l Latency
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]time.Duration, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(rng.Intn(1_000_000)) * time.Nanosecond
+		samples = append(samples, d)
+		l.Observe(d)
+	}
+	// p50 of uniform [0,1ms) is ~0.5ms; log buckets guarantee at most 2x
+	// relative error.
+	p50 := l.Quantile(0.5)
+	if p50 < 250*time.Microsecond || p50 > 1*time.Millisecond {
+		t.Fatalf("p50 estimate too far off: %v", p50)
+	}
+	if l.Quantile(1.0) != l.Max() {
+		t.Fatalf("p100 should be max: %v vs %v", l.Quantile(1.0), l.Max())
+	}
+	if l.Quantile(-1) > l.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+	_ = samples
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	var l Latency
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		l.Observe(time.Duration(rng.ExpFloat64() * float64(time.Millisecond)))
+	}
+	prev := time.Duration(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := l.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone at q=%v: %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	var a, b Latency
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count: %d", a.Count())
+	}
+	if a.Max() != 3*time.Millisecond {
+		t.Fatalf("merged max: %v", a.Max())
+	}
+	if a.Mean() != 2*time.Millisecond {
+		t.Fatalf("merged mean: %v", a.Mean())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Records: 1000, Elapsed: 2 * time.Second}
+	if got := tp.PerSecond(); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("rate: %v", got)
+	}
+	if (Throughput{Records: 5}).PerSecond() != 0 {
+		t.Fatal("zero elapsed should give 0")
+	}
+	if tp.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSummarizeLoads(t *testing.T) {
+	s := SummarizeLoads([]float64{10, 10, 10, 10})
+	if s.Imbalance != 1 || s.CV != 0 {
+		t.Fatalf("balanced: %+v", s)
+	}
+	s = SummarizeLoads([]float64{40, 0, 0, 0})
+	if math.Abs(s.Imbalance-4) > 1e-9 {
+		t.Fatalf("skewed imbalance: %v", s.Imbalance)
+	}
+	if s.Max != 40 || s.Min != 0 || s.Mean != 10 {
+		t.Fatalf("stats: %+v", s)
+	}
+	s = SummarizeLoads(nil)
+	if s.Imbalance != 1 {
+		t.Fatalf("empty: %+v", s)
+	}
+	s = SummarizeLoads([]float64{0, 0})
+	if s.Imbalance != 1 {
+		t.Fatalf("all-zero: %+v", s)
+	}
+}

@@ -1,0 +1,204 @@
+package minhash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+func rec(id record.ID, ranks ...tokens.Rank) *record.Record {
+	return &record.Record{ID: id, Time: int64(id), Tokens: tokens.Dedup(ranks)}
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	p := Params{Bands: 8, Rows: 4, Seed: 7}
+	a := p.Signature([]tokens.Rank{1, 2, 3}, nil)
+	b := p.Signature([]tokens.Rank{1, 2, 3}, nil)
+	if len(a) != 32 {
+		t.Fatalf("signature length: %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signature not deterministic")
+		}
+	}
+}
+
+func TestIdenticalSetsAlwaysCollide(t *testing.T) {
+	j, err := New(Config{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Add(rec(0, 1, 2, 3, 4, 5), func(Match) {})
+	n := 0
+	j.Add(rec(1, 1, 2, 3, 4, 5), func(m Match) {
+		n++
+		if m.Sim != 1.0 {
+			t.Fatalf("sim: %v", m.Sim)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("identical sets not matched: %d", n)
+	}
+}
+
+func TestEstimateSimTracksJaccard(t *testing.T) {
+	// With many rows the estimator must concentrate near the true value.
+	p := Params{Bands: 64, Rows: 4, Seed: 3}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + rng.Intn(30)
+		a := make([]tokens.Rank, 0, n)
+		for len(a) < n {
+			a = append(a, tokens.Rank(rng.Intn(10000)))
+			a = tokens.Dedup(a)
+		}
+		// b shares a prefix of a
+		shared := n / 2
+		b := append([]tokens.Rank{}, a[:shared]...)
+		for len(b) < n {
+			b = append(b, tokens.Rank(10000+rng.Intn(10000)))
+			b = tokens.Dedup(b)
+		}
+		truth := similarity.Of(similarity.Jaccard, a, b)
+		est := EstimateSim(p.Signature(a, nil), p.Signature(b, nil))
+		if math.Abs(est-truth) > 0.15 {
+			t.Fatalf("estimate %v too far from truth %v", est, truth)
+		}
+	}
+}
+
+func TestVerifiedModeHasNoFalsePositives(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(9)).Generate(400)
+	j, err := New(Config{Threshold: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		r := r
+		j.Add(r, func(m Match) {
+			if truth := similarity.Of(similarity.Jaccard, r.Tokens, m.Rec.Tokens); truth < 0.8-1e-12 {
+				t.Fatalf("false positive: %v (true sim %v)", m, truth)
+			}
+		})
+	}
+}
+
+func TestRecallIsHighForAggressiveBanding(t *testing.T) {
+	// 32 bands × 2 rows has collision prob ≥ 1-(1-0.8^2)^32 ≈ 1-1e-14 at
+	// s=0.8: recall should be essentially 1 on this workload.
+	recs := workload.NewGenerator(workload.AOLLike(11)).Generate(2000)
+	j, err := New(Config{Threshold: 0.8, Params: Params{Bands: 32, Rows: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[record.Pair]bool)
+	for _, r := range recs {
+		r := r
+		j.Add(r, func(m Match) {
+			found[record.NewPair(r.ID, m.Rec.ID, 0)] = true
+		})
+	}
+	truth := make(map[record.Pair]bool)
+	for i, r := range recs {
+		for k := 0; k < i; k++ {
+			if similarity.Of(similarity.Jaccard, r.Tokens, recs[k].Tokens) >= 0.8-1e-12 {
+				truth[record.NewPair(r.ID, recs[k].ID, 0)] = true
+			}
+		}
+	}
+	missed := 0
+	for p := range truth {
+		if !found[p] {
+			missed++
+		}
+	}
+	recall := 1 - float64(missed)/float64(len(truth))
+	if recall < 0.98 {
+		t.Fatalf("recall too low: %v (missed %d of %d)", recall, missed, len(truth))
+	}
+}
+
+func TestConservativeBandingMissesLowSimPairs(t *testing.T) {
+	// 1 band × 8 rows collides with prob s^8: at s≈0.5 nearly never. The
+	// point of this test is that banding actually filters.
+	j, err := New(Config{Threshold: 0.5, Params: Params{Bands: 1, Rows: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	pairsChecked := j.Stats().Candidates
+	for i := 0; i < 500; i++ {
+		n := 8 + rng.Intn(8)
+		set := make([]tokens.Rank, 0, n)
+		for len(set) < n {
+			set = append(set, tokens.Rank(rng.Intn(200)))
+			set = tokens.Dedup(set)
+		}
+		j.Add(rec(record.ID(i), set...), func(Match) {})
+	}
+	if j.Stats().Candidates-pairsChecked > 500*20 {
+		t.Fatalf("banding produced too many candidates: %d", j.Stats().Candidates)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	j, err := New(Config{Threshold: 0.9, Window: window.Count{N: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Add(rec(0, 1, 2, 3), func(Match) {})
+	j.Add(rec(1, 7, 8, 9), func(Match) {})
+	n := 0
+	j.Add(rec(3, 1, 2, 3), func(Match) { n++ })
+	if n != 0 {
+		t.Fatalf("expired record matched: %d", n)
+	}
+	if j.Size() > 2 {
+		t.Fatalf("size: %d", j.Size())
+	}
+}
+
+func TestSkipVerifyEmitsEstimates(t *testing.T) {
+	j, err := New(Config{Threshold: 0.5, SkipVerify: true, Params: Params{Bands: 16, Rows: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Add(rec(0, 1, 2, 3, 4), func(Match) {})
+	got := 0
+	j.Add(rec(1, 1, 2, 3, 4), func(m Match) {
+		got++
+		if m.Sim != 1.0 { // identical records estimate to 1
+			t.Fatalf("estimate: %v", m.Sim)
+		}
+	})
+	if got != 1 {
+		t.Fatalf("matches: %d", got)
+	}
+	if j.Stats().Verified != 0 {
+		t.Fatal("skip-verify still verified")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, tau := range []float64{0, -1, 1.5} {
+		if _, err := New(Config{Threshold: tau}); err == nil {
+			t.Fatalf("threshold %v accepted", tau)
+		}
+	}
+}
+
+func TestEstimateSimEdgeCases(t *testing.T) {
+	if EstimateSim(nil, nil) != 0 {
+		t.Fatal("nil signatures")
+	}
+	if EstimateSim([]uint64{1}, []uint64{1, 2}) != 0 {
+		t.Fatal("length mismatch")
+	}
+}

@@ -1,0 +1,69 @@
+package offline
+
+import (
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+)
+
+// FuzzJoinMatchesBruteForce decodes arbitrary bytes into a tiny dataset
+// and threshold, then cross-checks the optimized offline join against a
+// brute-force scan — a fuzzable end-to-end correctness oracle.
+func FuzzJoinMatchesBruteForce(f *testing.F) {
+	f.Add([]byte{8, 1, 2, 3, 0, 2, 3, 4, 0, 1, 2, 3, 4}, uint8(7))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, tauRaw uint8) {
+		// τ in {0.5, 0.55, ..., 0.95}; record separator is byte 0.
+		tau := 0.5 + float64(tauRaw%10)*0.05
+		p := filter.Params{Func: similarity.Jaccard, Threshold: tau}
+		var recs []*record.Record
+		var cur []tokens.Rank
+		flush := func() {
+			cur = tokens.Dedup(cur)
+			if len(cur) > 0 {
+				recs = append(recs, &record.Record{
+					ID:     record.ID(len(recs)),
+					Tokens: append([]tokens.Rank(nil), cur...),
+				})
+			}
+			cur = cur[:0]
+		}
+		for _, b := range data {
+			if b == 0 {
+				flush()
+				continue
+			}
+			cur = append(cur, tokens.Rank(b))
+		}
+		flush()
+		if len(recs) > 64 {
+			recs = recs[:64] // keep the n² oracle cheap
+		}
+
+		got := make(map[record.Pair]bool)
+		Join(recs, p, func(pr Pair) {
+			key := record.NewPair(pr.A, pr.B, 0)
+			if got[key] {
+				t.Fatalf("duplicate pair %v", key)
+			}
+			got[key] = true
+		})
+		want := 0
+		for i, r := range recs {
+			for j := 0; j < i; j++ {
+				if similarity.Of(similarity.Jaccard, r.Tokens, recs[j].Tokens) >= tau-1e-12 {
+					want++
+					if !got[record.NewPair(r.ID, recs[j].ID, 0)] {
+						t.Fatalf("missing pair (%d,%d) τ=%v", recs[j].ID, r.ID, tau)
+					}
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("got %d pairs want %d (τ=%v)", len(got), want, tau)
+		}
+	})
+}

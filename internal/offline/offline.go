@@ -1,0 +1,205 @@
+// Package offline implements the classic static-dataset set-similarity
+// self-join (AllPairs/PPJoin family) that the streaming system is
+// contrasted against: records are sorted by length and processed in that
+// order, which legitimizes the tighter index prefix
+//
+//	p_index(l) = l − ⌈2τ/(1+τ)·l⌉ + 1   (Jaccard)
+//
+// because every future probe is at least as long as the indexed record.
+// Probes use the symmetric mid prefix. The index is built incrementally
+// during the single pass, so the join is O(candidates) with no post-hoc
+// dedup — the structural advantage a static dataset buys over a stream,
+// which must index the full mid prefix because arrival order is arbitrary.
+//
+// The offline join is used as (a) a baseline in the evaluation, (b) a
+// cross-check oracle for the streaming joiners on unbounded windows, and
+// (c) the batch entry point of the public API.
+package offline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/filter"
+	"repro/internal/record"
+	"repro/internal/similarity"
+)
+
+// Pair is one verified result with exact overlap and similarity.
+type Pair struct {
+	A, B    record.ID
+	Overlap int
+	Sim     float64
+}
+
+// Stats counts join work.
+type Stats struct {
+	Candidates uint64
+	Verified   uint64
+	Results    uint64
+	Postings   uint64
+}
+
+// indexPrefixLen returns the shortened index prefix valid when every
+// future probe is at least as long as the indexed record (length-ascending
+// processing): the required overlap with an equal-or-longer partner is at
+// least the value at lb == la, so indexing the first
+// la − RequiredOverlap(la, la) + 1 tokens suffices. For Jaccard this is
+// the classic la − ⌈2τ/(1+τ)·la⌉ + 1.
+func indexPrefixLen(p filter.Params, l int) int {
+	if l == 0 {
+		return 0
+	}
+	req := similarity.RequiredOverlap(p.Func, p.Threshold, l, l)
+	pp := l - req + 1
+	if pp < 1 {
+		pp = 1
+	}
+	if pp > l {
+		pp = l
+	}
+	return pp
+}
+
+type posting struct {
+	idx int // position in the sorted slice
+	pos int32
+}
+
+// Join computes all pairs with similarity >= the threshold among recs,
+// emitting each exactly once. Input order is irrelevant; token slices must
+// be ascending rank sets (as produced by the record builder and workload
+// generators).
+func Join(recs []*record.Record, p filter.Params, emit func(Pair)) Stats {
+	var st Stats
+	n := len(recs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := recs[order[a]].Len(), recs[order[b]].Len()
+		if la != lb {
+			return la < lb
+		}
+		return recs[order[a]].ID < recs[order[b]].ID
+	})
+
+	posts := make(map[uint32][]posting)
+	type cand struct {
+		overlap int
+		pi, pj  int
+		pruned  bool
+	}
+	cands := make(map[int]*cand)
+
+	for oi, ri := range order {
+		r := recs[ri]
+		la := r.Len()
+		if la == 0 {
+			continue
+		}
+		minPartner := similarity.MinSize(p.Func, p.Threshold, la)
+		pp := p.PrefixLen(la) // probe (mid) prefix
+		for i := 0; i < pp; i++ {
+			tok := r.Tokens[i]
+			list := posts[uint32(tok)]
+			// Evict partners now too short to ever match again: lengths
+			// only grow, so the too-short head is dead for every future
+			// probe as well.
+			w := 0
+			for _, e := range list {
+				if recs[order[e.idx]].Len() >= minPartner {
+					list[w] = e
+					w++
+				} else {
+					st.Postings--
+				}
+			}
+			list = list[:w]
+			posts[uint32(tok)] = list
+			for _, e := range list {
+				y := recs[order[e.idx]]
+				c, seen := cands[e.idx]
+				if !seen {
+					c = &cand{}
+					cands[e.idx] = c
+					if !p.PositionOK(la, y.Len(), i, int(e.pos), 1) {
+						c.pruned = true
+						continue
+					}
+					c.overlap = 1
+					c.pi, c.pj = i+1, int(e.pos)+1
+					continue
+				}
+				if c.pruned {
+					continue
+				}
+				c.overlap++
+				c.pi, c.pj = i+1, int(e.pos)+1
+				if !p.PositionOK(la, y.Len(), i, int(e.pos), c.overlap) {
+					c.pruned = true
+				}
+			}
+		}
+		for idx, c := range cands {
+			if !c.pruned {
+				st.Candidates++
+				y := recs[order[idx]]
+				req := p.RequiredOverlap(la, y.Len())
+				o, ok := similarity.VerifyOverlapFrom(r.Tokens, y.Tokens, c.pi, c.pj, c.overlap, req)
+				st.Verified++
+				if ok {
+					st.Results++
+					emit(Pair{
+						A: y.ID, B: r.ID, Overlap: o,
+						Sim: similarity.FromOverlap(p.Func, o, la, y.Len()),
+					})
+				}
+			}
+			delete(cands, idx)
+		}
+		// Index r under its shortened index prefix; only equal-or-longer
+		// records probe it from here on.
+		mid := indexPrefixLen(p, la)
+		for i := 0; i < mid; i++ {
+			posts[uint32(r.Tokens[i])] = append(posts[uint32(r.Tokens[i])], posting{idx: oi, pos: int32(i)})
+			st.Postings++
+		}
+	}
+	return st
+}
+
+// JoinAll collects the result pairs of Join into a slice sorted by
+// (A, B) — the convenience wrapper the public API exposes.
+func JoinAll(recs []*record.Record, p filter.Params) ([]Pair, Stats) {
+	var out []Pair
+	st := Join(recs, p, func(pr Pair) {
+		if pr.A > pr.B {
+			pr.A, pr.B = pr.B, pr.A
+		}
+		out = append(out, pr)
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, st
+}
+
+// jaccardIndexPrefix recomputes the Jaccard index prefix with math.Ceil
+// directly; the test suite compares it against indexPrefixLen so a
+// regression in the similarity-package bounds is caught.
+func jaccardIndexPrefix(tau float64, l int) int {
+	req := int(math.Ceil(2*tau/(1+tau)*float64(l) - 1e-9))
+	pp := l - req + 1
+	if pp < 1 {
+		pp = 1
+	}
+	if pp > l {
+		pp = l
+	}
+	return pp
+}

@@ -1,0 +1,172 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/local"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+	"repro/internal/workload"
+)
+
+func params(f similarity.Func, tau float64) filter.Params {
+	return filter.Params{Func: f, Threshold: tau}
+}
+
+func bruteForce(recs []*record.Record, p filter.Params) map[record.Pair]bool {
+	out := make(map[record.Pair]bool)
+	for i, r := range recs {
+		for j := 0; j < i; j++ {
+			if similarity.Of(p.Func, r.Tokens, recs[j].Tokens) >= p.Threshold-1e-12 {
+				out[record.NewPair(r.ID, recs[j].ID, 0)] = true
+			}
+		}
+	}
+	return out
+}
+
+func randomRecords(rng *rand.Rand, n, universe, maxLen int) []*record.Record {
+	out := make([]*record.Record, n)
+	for i := range out {
+		m := 1 + rng.Intn(maxLen)
+		set := make([]tokens.Rank, 0, m)
+		for len(set) < m {
+			set = append(set, tokens.Rank(rng.Intn(universe)))
+			set = tokens.Dedup(set)
+		}
+		out[i] = &record.Record{ID: record.ID(i), Tokens: set}
+	}
+	return out
+}
+
+func TestJoinMatchesBruteForceAcrossFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range []similarity.Func{similarity.Jaccard, similarity.Cosine, similarity.Dice} {
+		for _, tau := range []float64{0.5, 0.7, 0.85} {
+			p := params(f, tau)
+			recs := randomRecords(rng, 300, 50, 14)
+			want := bruteForce(recs, p)
+			pairs, st := JoinAll(recs, p)
+			if len(pairs) != len(want) {
+				t.Fatalf("%v τ=%v: got %d pairs want %d", f, tau, len(pairs), len(want))
+			}
+			seen := make(map[record.Pair]bool)
+			for _, pr := range pairs {
+				key := record.NewPair(pr.A, pr.B, 0)
+				if seen[key] {
+					t.Fatalf("%v τ=%v: duplicate %v", f, tau, key)
+				}
+				seen[key] = true
+				if !want[key] {
+					t.Fatalf("%v τ=%v: spurious %v", f, tau, key)
+				}
+				// Overlap and similarity must be exact.
+				var a, b *record.Record
+				for _, r := range recs {
+					if r.ID == pr.A {
+						a = r
+					}
+					if r.ID == pr.B {
+						b = r
+					}
+				}
+				if truth := similarity.IntersectSize(a.Tokens, b.Tokens); truth != pr.Overlap {
+					t.Fatalf("overlap: got %d want %d", pr.Overlap, truth)
+				}
+			}
+			if st.Results != uint64(len(want)) {
+				t.Fatalf("stats results: %d want %d", st.Results, len(want))
+			}
+		}
+	}
+}
+
+func TestJoinAgreesWithStreamingUnbounded(t *testing.T) {
+	// Offline and streaming joins over the same data must agree when the
+	// stream window is unbounded — the cross-check oracle property.
+	recs := workload.NewGenerator(workload.UniformSmall(9)).Generate(600)
+	p := params(similarity.Jaccard, 0.7)
+	offline, _ := JoinAll(recs, p)
+	j := local.New(local.Prefix, local.Options{Params: p})
+	streaming := make(map[record.Pair]bool)
+	for _, r := range recs {
+		j.Step(r, true, func(m local.Match) {
+			streaming[record.NewPair(r.ID, m.Rec.ID, 0)] = true
+		})
+	}
+	if len(offline) != len(streaming) {
+		t.Fatalf("offline %d vs streaming %d", len(offline), len(streaming))
+	}
+	for _, pr := range offline {
+		if !streaming[record.NewPair(pr.A, pr.B, 0)] {
+			t.Fatalf("streaming missing %v", pr)
+		}
+	}
+}
+
+func TestOfflineIndexesFewerPostingsThanStreaming(t *testing.T) {
+	// The index-prefix shortening is the offline advantage: strictly fewer
+	// postings than the streaming mid-prefix index on the same data.
+	recs := workload.NewGenerator(workload.TweetLike(4)).Generate(800)
+	p := params(similarity.Jaccard, 0.8)
+	_, st := JoinAll(recs, p)
+	j := local.New(local.Prefix, local.Options{Params: p})
+	for _, r := range recs {
+		j.Step(r, true, func(local.Match) {})
+	}
+	if st.Postings >= j.Cost().Postings {
+		t.Fatalf("offline postings %d not fewer than streaming %d",
+			st.Postings, j.Cost().Postings)
+	}
+}
+
+func TestIndexPrefixMatchesClassicFormula(t *testing.T) {
+	for _, tau := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+		p := params(similarity.Jaccard, tau)
+		for l := 1; l <= 200; l++ {
+			if got, want := indexPrefixLen(p, l), jaccardIndexPrefix(tau, l); got != want {
+				t.Fatalf("τ=%v l=%d: got %d want %d", tau, l, got, want)
+			}
+		}
+	}
+	if indexPrefixLen(params(similarity.Jaccard, 0.8), 0) != 0 {
+		t.Fatal("empty record prefix")
+	}
+}
+
+func TestJoinEmptyAndDegenerateInputs(t *testing.T) {
+	p := params(similarity.Jaccard, 0.8)
+	pairs, st := JoinAll(nil, p)
+	if len(pairs) != 0 || st.Results != 0 {
+		t.Fatalf("empty input: %v %v", pairs, st)
+	}
+	// Records with empty token sets never match.
+	recs := []*record.Record{
+		{ID: 0}, {ID: 1},
+		{ID: 2, Tokens: []tokens.Rank{1, 2}},
+		{ID: 3, Tokens: []tokens.Rank{1, 2}},
+	}
+	pairs, _ = JoinAll(recs, p)
+	if len(pairs) != 1 || pairs[0].A != 2 || pairs[0].B != 3 {
+		t.Fatalf("degenerate join: %v", pairs)
+	}
+}
+
+func TestJoinAllSortsOutput(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(2)).Generate(300)
+	pairs, _ := JoinAll(recs, params(similarity.Jaccard, 0.6))
+	for i := 1; i < len(pairs); i++ {
+		a, b := pairs[i-1], pairs[i]
+		if a.A > b.A || (a.A == b.A && a.B >= b.B) {
+			t.Fatalf("output not sorted at %d: %v then %v", i, a, b)
+		}
+	}
+	for _, pr := range pairs {
+		if pr.A >= pr.B {
+			t.Fatalf("pair not normalized: %v", pr)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package remote
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/wire"
+)
+
+// RunSummary reports a completed remote join.
+type RunSummary struct {
+	Records uint64
+	Results uint64
+	// Pairs holds results when collection was requested.
+	Pairs []record.Pair
+	// Elapsed covers dispatch through the last worker's stats frame.
+	Elapsed time.Duration
+	// TuplesSent and BytesSent count coordinator→worker record traffic —
+	// real serialized bytes this time, not an estimate.
+	TuplesSent, BytesSent uint64
+	// WorkerStats are the per-worker final counters, indexed by task.
+	WorkerStats []wire.Stats
+	// Snapshots holds each worker's window checkpoint when requested via
+	// Opts.Snapshot, indexed by task.
+	Snapshots [][]byte
+}
+
+// Opts tunes a remote run beyond the session parameters.
+type Opts struct {
+	// CollectPairs returns every result pair in the summary.
+	CollectPairs bool
+	// Seed restores worker windows from per-task snapshot blobs before the
+	// record stream (nil entries start empty). Produce blobs with a prior
+	// run's Opts.Snapshot.
+	Seed [][]byte
+	// Snapshot asks every worker to return its window state after the
+	// stream; the blobs land in RunSummary.Snapshots.
+	Snapshot bool
+}
+
+// countingWriter tallies bytes crossing a connection.
+type countingWriter struct {
+	w io.Writer
+	n atomic.Uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+// Dial connects to every worker address.
+func Dial(addrs []string, timeout time.Duration) ([]net.Conn, error) {
+	conns := make([]net.Conn, 0, len(addrs))
+	for _, a := range addrs {
+		c, err := net.DialTimeout("tcp", a, timeout)
+		if err != nil {
+			for _, done := range conns {
+				done.Close()
+			}
+			return nil, fmt.Errorf("remote: dialing %s: %w", a, err)
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+// Run executes one join session over the given worker connections: it
+// handshakes every worker, routes each record per the session strategy
+// (sending the store flag to the record's home copy), signals EOF, and
+// collects results and final stats. Connections are left open; callers own
+// their lifecycle.
+func Run(conns []io.ReadWriter, sess Session, recs []*record.Record, collectPairs bool) (*RunSummary, error) {
+	return RunWithOpts(conns, sess, recs, Opts{CollectPairs: collectPairs})
+}
+
+// BiRecord tags a record with its stream side for two-stream sessions.
+type BiRecord struct {
+	Rec   *record.Record
+	Right bool
+}
+
+// RunBi executes a two-stream join session: records match only across
+// sides. The session must have Bi set; snapshot options are rejected.
+func RunBi(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts) (*RunSummary, error) {
+	if !sess.Bi {
+		return nil, fmt.Errorf("remote: RunBi requires Session.Bi")
+	}
+	if opts.Snapshot || len(opts.Seed) > 0 {
+		return nil, fmt.Errorf("remote: snapshots unsupported for bi sessions")
+	}
+	return runSession(conns, sess, recs, opts)
+}
+
+// RunWithOpts is Run with snapshot seeding and collection.
+func RunWithOpts(conns []io.ReadWriter, sess Session, recs []*record.Record, opts Opts) (*RunSummary, error) {
+	if sess.Bi {
+		return nil, fmt.Errorf("remote: use RunBi for bi sessions")
+	}
+	birecs := make([]BiRecord, len(recs))
+	for i, r := range recs {
+		birecs[i] = BiRecord{Rec: r}
+	}
+	return runSession(conns, sess, birecs, opts)
+}
+
+func runSession(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts) (*RunSummary, error) {
+	collectPairs := opts.CollectPairs
+	k := len(conns)
+	if k == 0 {
+		return nil, fmt.Errorf("remote: no workers")
+	}
+	strat, err := sess.strategyFor(k)
+	if err != nil {
+		return nil, err
+	}
+
+	writers := make([]*wire.Writer, k)
+	counters := make([]*countingWriter, k)
+	for i, c := range conns {
+		cw := &countingWriter{w: c}
+		counters[i] = cw
+		writers[i] = wire.NewWriter(cw)
+	}
+
+	start := time.Now()
+	for i, w := range writers {
+		h, err := sess.hello(i, k)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.WriteHello(h); err != nil {
+			return nil, fmt.Errorf("remote: hello to worker %d: %w", i, err)
+		}
+	}
+
+	// Seed worker windows before the record stream.
+	for i, w := range writers {
+		if i < len(opts.Seed) && len(opts.Seed[i]) > 0 {
+			if err := w.WriteSnapshot(opts.Seed[i]); err != nil {
+				return nil, fmt.Errorf("remote: seeding worker %d: %w", i, err)
+			}
+		}
+	}
+
+	// Result readers: one per worker, running until its Stats frame (plus
+	// a trailing snapshot frame when requested).
+	sum := &RunSummary{Records: uint64(len(recs)), WorkerStats: make([]wire.Stats, k)}
+	if opts.Snapshot {
+		sum.Snapshots = make([][]byte, k)
+	}
+	var (
+		mu      sync.Mutex // guards sum.Results / sum.Pairs
+		wg      sync.WaitGroup
+		readErr = make(chan error, k)
+	)
+	for i, c := range conns {
+		wg.Add(1)
+		go func(task int, r io.Reader) {
+			defer wg.Done()
+			rd := wire.NewReader(r)
+			for {
+				typ, err := rd.Next()
+				if err != nil {
+					readErr <- fmt.Errorf("remote: worker %d read: %w", task, err)
+					return
+				}
+				switch typ {
+				case wire.TypeResult:
+					res, err := rd.ReadResult()
+					if err != nil {
+						readErr <- err
+						return
+					}
+					mu.Lock()
+					sum.Results++
+					if collectPairs {
+						sum.Pairs = append(sum.Pairs, record.Pair{
+							First: res.A, Second: res.B, Sim: res.Sim,
+						})
+					}
+					mu.Unlock()
+				case wire.TypeStats:
+					st, err := rd.ReadStats()
+					if err != nil {
+						readErr <- err
+						return
+					}
+					sum.WorkerStats[task] = st
+					if !opts.Snapshot {
+						return
+					}
+					typ, err := rd.Next()
+					if err != nil {
+						readErr <- fmt.Errorf("remote: worker %d snapshot: %w", task, err)
+						return
+					}
+					if typ != wire.TypeSnapshot {
+						readErr <- fmt.Errorf("remote: worker %d sent frame %d, want snapshot", task, typ)
+						return
+					}
+					sum.Snapshots[task] = rd.ReadSnapshot()
+					return
+				default:
+					readErr <- fmt.Errorf("remote: worker %d sent frame type %d", task, typ)
+					return
+				}
+			}
+		}(i, c)
+	}
+
+	// Dispatch loop.
+	var tuples uint64
+	buf := make([]int, 0, k)
+	dispatchErr := func() error {
+		for _, br := range recs {
+			r := br.Rec
+			buf = strat.Route(r, k, buf[:0])
+			for _, dst := range buf {
+				store := strat.Stores(r, dst, k)
+				if err := writers[dst].WriteRecordSide(store, br.Right, r); err != nil {
+					return fmt.Errorf("remote: record to worker %d: %w", dst, err)
+				}
+				tuples++
+			}
+		}
+		for i, w := range writers {
+			var err error
+			if opts.Snapshot {
+				err = w.WriteSnapshotReq()
+			} else {
+				err = w.WriteEOF()
+			}
+			if err != nil {
+				return fmt.Errorf("remote: eof to worker %d: %w", i, err)
+			}
+		}
+		return nil
+	}()
+
+	if dispatchErr != nil {
+		// Unblock readers on workers that will never see EOF.
+		for _, c := range conns {
+			if cl, ok := c.(io.Closer); ok {
+				cl.Close()
+			}
+		}
+	}
+	wg.Wait()
+	close(readErr)
+	if dispatchErr != nil {
+		return nil, dispatchErr
+	}
+	for err := range readErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sum.Elapsed = time.Since(start)
+	sum.TuplesSent = tuples
+	for _, cw := range counters {
+		sum.BytesSent += cw.n.Load()
+	}
+	return sum, nil
+}

@@ -1,0 +1,69 @@
+package remote
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Monitor aggregates worker-process counters and serves them over HTTP —
+// the operational surface a deployed worker needs. Wire it with
+// ServeWorkerMonitored and mount Handler on any mux.
+type Monitor struct {
+	SessionsStarted  atomic.Uint64
+	SessionsFinished atomic.Uint64
+	SessionsFailed   atomic.Uint64
+	RecordsSeen      atomic.Uint64
+	ResultsEmitted   atomic.Uint64
+}
+
+// snapshot is the JSON shape of /stats.
+type snapshot struct {
+	SessionsStarted  uint64 `json:"sessions_started"`
+	SessionsFinished uint64 `json:"sessions_finished"`
+	SessionsFailed   uint64 `json:"sessions_failed"`
+	SessionsActive   uint64 `json:"sessions_active"`
+	RecordsSeen      uint64 `json:"records_seen"`
+	ResultsEmitted   uint64 `json:"results_emitted"`
+}
+
+// Snapshot returns the current counter values.
+func (m *Monitor) Snapshot() map[string]uint64 {
+	started := m.SessionsStarted.Load()
+	finished := m.SessionsFinished.Load()
+	failed := m.SessionsFailed.Load()
+	return map[string]uint64{
+		"sessions_started":  started,
+		"sessions_finished": finished,
+		"sessions_failed":   failed,
+		"sessions_active":   started - finished - failed,
+		"records_seen":      m.RecordsSeen.Load(),
+		"results_emitted":   m.ResultsEmitted.Load(),
+	}
+}
+
+// Handler serves GET /stats (JSON counters) and GET /healthz ("ok").
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		started := m.SessionsStarted.Load()
+		finished := m.SessionsFinished.Load()
+		failed := m.SessionsFailed.Load()
+		s := snapshot{
+			SessionsStarted:  started,
+			SessionsFinished: finished,
+			SessionsFailed:   failed,
+			SessionsActive:   started - finished - failed,
+			RecordsSeen:      m.RecordsSeen.Load(),
+			ResultsEmitted:   m.ResultsEmitted.Load(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

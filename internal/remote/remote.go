@@ -1,0 +1,149 @@
+// Package remote runs the distributed join over real network connections:
+// a coordinator process dispatches records to worker processes speaking
+// the wire protocol over TCP. It is the multi-process counterpart of
+// internal/topology's in-process engine: the same strategies, joiners and
+// windows, but with serialization and sockets on the path — the deployment
+// shape the paper's Storm cluster has.
+//
+// Protocol per connection (one join session):
+//
+//	coordinator → worker: Hello, Record*, EOF
+//	worker → coordinator: Result*, Stats, close
+//
+// The coordinator runs one reader goroutine per worker so result
+// backpressure can never deadlock record dispatch.
+package remote
+
+import (
+	"fmt"
+
+	"repro/internal/bundle"
+	"repro/internal/dispatch"
+	"repro/internal/filter"
+	"repro/internal/local"
+	"repro/internal/partition"
+	"repro/internal/similarity"
+	"repro/internal/window"
+	"repro/internal/wire"
+)
+
+// Session is the join configuration shared by coordinator and workers.
+type Session struct {
+	Params    filter.Params
+	Algorithm local.Algorithm
+	Window    window.Policy // nil = unbounded
+	Bundle    bundle.Config
+	// Strategy kind and, for the length strategy, the partition bounds.
+	Strategy string // "length", "prefix", "broadcast"
+	Bounds   []int
+	// Bi selects a two-stream session: records carry sides and match only
+	// across sides. Snapshot seeding/collection is not supported for bi
+	// sessions.
+	Bi bool
+}
+
+// hello encodes the session for worker task of workers.
+func (s Session) hello(task, workers int) (wire.Hello, error) {
+	h := wire.Hello{
+		Version:        wire.Version,
+		Task:           task,
+		Workers:        workers,
+		Func:           int(s.Params.Func),
+		Threshold:      s.Params.Threshold,
+		Algorithm:      int(s.Algorithm),
+		Bounds:         s.Bounds,
+		GroupThreshold: s.Bundle.GroupThreshold,
+		MaxMembers:     s.Bundle.MaxMembers,
+		OneByOne:       s.Bundle.OneByOneVerify,
+		Bi:             s.Bi,
+	}
+	switch w := s.Window.(type) {
+	case nil, window.Unbounded:
+		h.WindowKind = 0
+	case window.Count:
+		h.WindowKind = 1
+		h.WindowN = w.N
+	case window.Time:
+		h.WindowKind = 2
+		h.WindowN = w.Span
+	default:
+		return h, fmt.Errorf("remote: unsupported window %T", s.Window)
+	}
+	switch s.Strategy {
+	case "length":
+		h.Strategy = 0
+		if len(s.Bounds) != workers {
+			return h, fmt.Errorf("remote: length strategy needs %d bounds, got %d", workers, len(s.Bounds))
+		}
+	case "prefix":
+		h.Strategy = 1
+	case "broadcast":
+		h.Strategy = 2
+	default:
+		return h, fmt.Errorf("remote: unknown strategy %q", s.Strategy)
+	}
+	return h, nil
+}
+
+// sessionFromHello reconstructs the worker-side session.
+func sessionFromHello(h wire.Hello) (Session, dispatch.Strategy, error) {
+	s := Session{
+		Params: filter.Params{
+			Func:      similarity.Func(h.Func),
+			Threshold: h.Threshold,
+		},
+		Algorithm: local.Algorithm(h.Algorithm),
+		Bundle: bundle.Config{
+			GroupThreshold: h.GroupThreshold,
+			MaxMembers:     h.MaxMembers,
+			OneByOneVerify: h.OneByOne,
+		},
+		Bounds: h.Bounds,
+		Bi:     h.Bi,
+	}
+	switch h.WindowKind {
+	case 0:
+		s.Window = window.Unbounded{}
+	case 1:
+		s.Window = window.Count{N: h.WindowN}
+	case 2:
+		s.Window = window.Time{Span: h.WindowN}
+	default:
+		return s, nil, fmt.Errorf("remote: unknown window kind %d", h.WindowKind)
+	}
+	var strat dispatch.Strategy
+	switch h.Strategy {
+	case 0:
+		s.Strategy = "length"
+		strat = dispatch.NewLengthBased(s.Params, partition.Partition{Bounds: h.Bounds})
+	case 1:
+		s.Strategy = "prefix"
+		strat = dispatch.PrefixBased{Params: s.Params}
+	case 2:
+		s.Strategy = "broadcast"
+		strat = dispatch.BroadcastBased{}
+	default:
+		return s, nil, fmt.Errorf("remote: unknown strategy %d", h.Strategy)
+	}
+	if s.Params.Threshold <= 0 {
+		return s, nil, fmt.Errorf("remote: non-positive threshold %v", s.Params.Threshold)
+	}
+	return s, strat, nil
+}
+
+// strategyFor builds the coordinator-side routing strategy.
+func (s Session) strategyFor(workers int) (dispatch.Strategy, error) {
+	switch s.Strategy {
+	case "length":
+		if len(s.Bounds) != workers {
+			return nil, fmt.Errorf("remote: length strategy needs %d bounds, got %d", workers, len(s.Bounds))
+		}
+		return dispatch.NewLengthBased(s.Params, partition.Partition{Bounds: s.Bounds}), nil
+	case "prefix":
+		return dispatch.PrefixBased{Params: s.Params}, nil
+	case "broadcast":
+		return dispatch.BroadcastBased{}, nil
+	default:
+		return nil, fmt.Errorf("remote: unknown strategy %q", s.Strategy)
+	}
+}

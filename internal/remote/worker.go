@@ -1,0 +1,194 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	"repro/internal/checkpoint"
+	"repro/internal/local"
+	"repro/internal/record"
+	"repro/internal/wire"
+)
+
+// ServeWorker accepts coordinator connections on ln and runs one join
+// session per connection until ln is closed. Sessions run concurrently;
+// each owns its joiner. The returned error is nil when ln was closed.
+func ServeWorker(ln net.Listener, logf func(format string, args ...interface{})) error {
+	return ServeWorkerMonitored(ln, logf, nil)
+}
+
+// ServeWorkerMonitored behaves like ServeWorker and additionally feeds the
+// monitor's counters (mon may be nil).
+func ServeWorkerMonitored(ln net.Listener, logf func(format string, args ...interface{}), mon *Monitor) error {
+	if logf == nil {
+		logf = log.Printf
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			if mon != nil {
+				mon.SessionsStarted.Add(1)
+			}
+			if err := HandleSessionMonitored(conn, conn, mon); err != nil {
+				if mon != nil {
+					mon.SessionsFailed.Add(1)
+				}
+				logf("remote worker: session ended with error: %v", err)
+			} else if mon != nil {
+				mon.SessionsFinished.Add(1)
+			}
+		}(conn)
+	}
+}
+
+// HandleSession runs one worker-side join session over the given
+// reader/writer pair (a TCP connection in production, an in-memory pipe in
+// tests). It returns when the coordinator sends EOF (nil error) or the
+// stream breaks.
+func HandleSession(r io.Reader, w io.Writer) error {
+	return HandleSessionMonitored(r, w, nil)
+}
+
+// HandleSessionMonitored is HandleSession with optional monitor counters.
+func HandleSessionMonitored(r io.Reader, w io.Writer, mon *Monitor) error {
+	wr := wire.NewWriter(w)
+	rd := wire.NewReader(r)
+
+	typ, err := rd.Next()
+	if err != nil {
+		return fmt.Errorf("remote: reading hello: %w", err)
+	}
+	if typ != wire.TypeHello {
+		return fmt.Errorf("remote: expected hello, got frame type %d", typ)
+	}
+	h, err := rd.ReadHello()
+	if err != nil {
+		return err
+	}
+	sess, strat, err := sessionFromHello(h)
+	if err != nil {
+		return err
+	}
+	opts := local.Options{
+		Params: sess.Params,
+		Window: sess.Window,
+		Bundle: sess.Bundle,
+	}
+	var (
+		joiner local.Joiner
+		bi     *local.BiJoiner
+	)
+	if sess.Bi {
+		bi = local.NewBi(sess.Algorithm, opts)
+	} else {
+		joiner = local.New(sess.Algorithm, opts)
+	}
+
+	task, workers := h.Task, h.Workers
+	var writeErr error
+	emit := func(r *record.Record) func(local.Match) {
+		return func(m local.Match) {
+			if writeErr != nil {
+				return
+			}
+			if !strat.Emits(r, m.Rec, task, workers) {
+				return
+			}
+			a, b := r.ID, m.Rec.ID
+			if a > b {
+				a, b = b, a
+			}
+			if mon != nil {
+				mon.ResultsEmitted.Add(1)
+			}
+			writeErr = wr.WriteResult(wire.Result{A: a, B: b, Sim: m.Sim})
+		}
+	}
+
+	sendStats := func() error {
+		var c local.Cost
+		if bi != nil {
+			cl, cr := bi.CostLeft(), bi.CostRight()
+			c = local.Cost{
+				Probes: cl.Probes + cr.Probes, Stored: cl.Stored + cr.Stored,
+				Scanned: cl.Scanned + cr.Scanned, Candidates: cl.Candidates + cr.Candidates,
+				Verified: cl.Verified + cr.Verified, Results: cl.Results + cr.Results,
+				VerifySteps: cl.VerifySteps + cr.VerifySteps, Postings: cl.Postings + cr.Postings,
+			}
+		} else {
+			c = joiner.Cost()
+		}
+		return wr.WriteStats(wire.Stats{
+			Probes: c.Probes, Stored: c.Stored, Scanned: c.Scanned,
+			Candidates: c.Candidates, Verified: c.Verified,
+			Results: c.Results, VerifySteps: c.VerifySteps,
+			Postings: c.Postings,
+		})
+	}
+
+	first := true
+	for {
+		typ, err := rd.Next()
+		if err != nil {
+			return fmt.Errorf("remote: reading frame: %w", err)
+		}
+		switch typ {
+		case wire.TypeSnapshot:
+			if !first {
+				return errors.New("remote: snapshot frame after records")
+			}
+			if bi != nil {
+				return errors.New("remote: snapshots unsupported for bi sessions")
+			}
+			blob := rd.ReadSnapshot()
+			if _, _, err := checkpoint.Read(bytes.NewReader(blob), joiner); err != nil {
+				return fmt.Errorf("remote: restoring snapshot: %w", err)
+			}
+			first = false
+		case wire.TypeRecord:
+			first = false
+			rt, err := rd.ReadRecord()
+			if err != nil {
+				return err
+			}
+			if mon != nil {
+				mon.RecordsSeen.Add(1)
+			}
+			if bi != nil {
+				bi.StepSide(rt.Rec, rt.Right, rt.Store, emit(rt.Rec))
+			} else {
+				joiner.Step(rt.Rec, rt.Store, emit(rt.Rec))
+			}
+			if writeErr != nil {
+				return fmt.Errorf("remote: writing result: %w", writeErr)
+			}
+		case wire.TypeEOF:
+			return sendStats()
+		case wire.TypeSnapshotReq:
+			if bi != nil {
+				return errors.New("remote: snapshots unsupported for bi sessions")
+			}
+			if err := sendStats(); err != nil {
+				return err
+			}
+			var blob bytes.Buffer
+			if err := checkpoint.Write(&blob, checkpoint.Cursor{}, joiner); err != nil {
+				return fmt.Errorf("remote: snapshotting: %w", err)
+			}
+			return wr.WriteSnapshot(blob.Bytes())
+		default:
+			return fmt.Errorf("remote: unexpected frame type %d", typ)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/record"
+)
+
+func rec(id record.ID) *record.Record { return &record.Record{ID: id, Time: int64(id)} }
+
+func newRecBuffer(slack uint64) *Buffer[*record.Record] {
+	return New(slack, func(r *record.Record) uint64 { return uint64(r.ID) })
+}
+
+func TestInOrderPassThrough(t *testing.T) {
+	b := newRecBuffer(0)
+	var got []record.ID
+	for i := 0; i < 10; i++ {
+		b.Push(rec(record.ID(i)), func(r *record.Record) { got = append(got, r.ID) })
+	}
+	b.Flush(func(r *record.Record) { got = append(got, r.ID) })
+	if len(got) != 10 {
+		t.Fatalf("released %d", len(got))
+	}
+	for i, id := range got {
+		if id != record.ID(i) {
+			t.Fatalf("order broken at %d: %d", i, id)
+		}
+	}
+	if b.Late() != 0 {
+		t.Fatalf("late: %d", b.Late())
+	}
+}
+
+func TestShuffledWithinSlackIsRestored(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, slack = 5000, 64
+	ids := make([]record.ID, n)
+	for i := range ids {
+		ids[i] = record.ID(i)
+	}
+	// Bounded disorder: shuffle within disjoint blocks smaller than the
+	// slack, so no record arrives more than slack IDs late.
+	const block = slack / 2
+	for start := 0; start < n; start += block {
+		end := start + block
+		if end > n {
+			end = n
+		}
+		rng.Shuffle(end-start, func(a, c int) {
+			ids[start+a], ids[start+c] = ids[start+c], ids[start+a]
+		})
+	}
+	b := newRecBuffer(slack)
+	var got []record.ID
+	emit := func(r *record.Record) { got = append(got, r.ID) }
+	for _, id := range ids {
+		b.Push(rec(id), emit)
+	}
+	b.Flush(emit)
+	if len(got) != n {
+		t.Fatalf("released %d of %d (late %d)", len(got), n, b.Late())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order broken at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if b.Late() != 0 {
+		t.Fatalf("late: %d", b.Late())
+	}
+}
+
+func TestBeyondSlackIsCountedDropped(t *testing.T) {
+	b := newRecBuffer(2)
+	var got []record.ID
+	emit := func(r *record.Record) { got = append(got, r.ID) }
+	for _, id := range []record.ID{0, 1, 2, 3, 10, 11, 12} {
+		b.Push(rec(id), emit)
+	}
+	// id 4 is far behind the watermark (12-2=10): must be dropped.
+	b.Push(rec(4), emit)
+	b.Flush(emit)
+	if b.Late() != 1 {
+		t.Fatalf("late: %d", b.Late())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+}
+
+func TestFlushDrainsEverything(t *testing.T) {
+	b := newRecBuffer(1000)
+	for i := 0; i < 50; i++ {
+		b.Push(rec(record.ID(i)), func(*record.Record) { t.Fatal("nothing should release under huge slack") })
+	}
+	if b.Pending() != 50 {
+		t.Fatalf("pending: %d", b.Pending())
+	}
+	n := 0
+	b.Flush(func(*record.Record) { n++ })
+	if n != 50 || b.Pending() != 0 {
+		t.Fatalf("flush released %d, pending %d", n, b.Pending())
+	}
+}
+
+func TestSubsetStreams(t *testing.T) {
+	// A worker sees only a subset of global IDs; gaps must not stall
+	// release, and slack is measured in ID units (so gaps count toward
+	// lateness).
+	b := newRecBuffer(300)
+	var got []record.ID
+	emit := func(r *record.Record) { got = append(got, r.ID) }
+	for _, id := range []record.ID{3, 9, 1, 27, 81, 243} {
+		b.Push(rec(id), emit)
+	}
+	b.Flush(emit)
+	if len(got) != 6 {
+		t.Fatalf("released %d (late %d)", len(got), b.Late())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+}
+
+// Property: for any input sequence, output is strictly increasing and
+// |output| + late == |input| (no silent loss).
+func TestReorderConservationProperty(t *testing.T) {
+	f := func(raw []uint16, slackRaw uint8) bool {
+		slack := uint64(slackRaw)
+		b := newRecBuffer(slack)
+		var out []record.ID
+		emit := func(r *record.Record) { out = append(out, r.ID) }
+		seen := make(map[uint16]bool)
+		n := 0
+		for _, v := range raw {
+			if seen[v] {
+				continue // IDs must be unique in a stream
+			}
+			seen[v] = true
+			n++
+			b.Push(rec(record.ID(v)), emit)
+		}
+		b.Flush(emit)
+		if len(out)+int(b.Late()) != n {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] <= out[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,343 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tokens"
+)
+
+func set(rs ...tokens.Rank) []tokens.Rank { return rs }
+
+func TestOfJaccard(t *testing.T) {
+	a := set(1, 2, 3, 4)
+	b := set(3, 4, 5, 6)
+	// overlap 2, union 6
+	if got, want := Of(Jaccard, a, b), 2.0/6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("jaccard: got %v want %v", got, want)
+	}
+}
+
+func TestOfCosineDiceOverlap(t *testing.T) {
+	a := set(1, 2, 3, 4)
+	b := set(3, 4, 5, 6)
+	if got, want := Of(Cosine, a, b), 2.0/4.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cosine: got %v want %v", got, want)
+	}
+	if got, want := Of(Dice, a, b), 4.0/8.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("dice: got %v want %v", got, want)
+	}
+	if got := Of(Overlap, a, b); got != 2 {
+		t.Fatalf("overlap: got %v want 2", got)
+	}
+}
+
+func TestOfIdenticalSetsIsOne(t *testing.T) {
+	a := set(2, 4, 6)
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		if got := Of(f, a, a); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%v(a,a) = %v, want 1", f, got)
+		}
+	}
+}
+
+func TestOfEmptySets(t *testing.T) {
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		if got := Of(f, nil, nil); got != 0 {
+			t.Errorf("%v(∅,∅) = %v, want 0", f, got)
+		}
+		if got := Of(f, set(1), nil); got != 0 {
+			t.Errorf("%v(a,∅) = %v, want 0", f, got)
+		}
+	}
+}
+
+func TestMinMaxSizeJaccardExactArithmetic(t *testing.T) {
+	// τ=0.7, l=10: bounds are ceil(7)=7 and floor(10/0.7)=14.
+	if got := MinSize(Jaccard, 0.7, 10); got != 7 {
+		t.Fatalf("MinSize: got %d want 7", got)
+	}
+	if got := MaxSize(Jaccard, 0.7, 10); got != 14 {
+		t.Fatalf("MaxSize: got %d want 14", got)
+	}
+	// τ=0.5, l=4: [2, 8]
+	if got := MinSize(Jaccard, 0.5, 4); got != 2 {
+		t.Fatalf("MinSize: got %d want 2", got)
+	}
+	if got := MaxSize(Jaccard, 0.5, 4); got != 8 {
+		t.Fatalf("MaxSize: got %d want 8", got)
+	}
+}
+
+func TestRequiredOverlapJaccard(t *testing.T) {
+	// τ=0.8, la=lb=10: ceil(0.8/1.8*20) = ceil(8.888) = 9
+	if got := RequiredOverlap(Jaccard, 0.8, 10, 10); got != 9 {
+		t.Fatalf("got %d want 9", got)
+	}
+	// Overlap o >= α iff jaccard >= τ must hold at the boundary:
+	// o=9: 9/11 = 0.818 >= 0.8 ✓; o=8: 8/12 = 0.667 < 0.8 ✓
+}
+
+func TestRequiredOverlapMatchesDefinition(t *testing.T) {
+	// For all sizes and achievable overlaps: sim >= τ ⇔ o >= RequiredOverlap.
+	for _, tau := range []float64{0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95} {
+		for la := 1; la <= 30; la++ {
+			for lb := 1; lb <= 30; lb++ {
+				req := RequiredOverlap(Jaccard, tau, la, lb)
+				maxO := la
+				if lb < maxO {
+					maxO = lb
+				}
+				for o := 0; o <= maxO; o++ {
+					sim := FromOverlap(Jaccard, o, la, lb)
+					if (sim >= tau-1e-12) != (o >= req) {
+						t.Fatalf("τ=%v la=%d lb=%d o=%d: sim=%v req=%d",
+							tau, la, lb, o, sim, req)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLengthBoundsAreTight(t *testing.T) {
+	// For every function and (la, lb) with lb inside [MinSize, MaxSize] of
+	// la, identical overlap lb==la case must be achievable. Conversely a
+	// partner outside the bounds can never reach τ even with full overlap.
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		for _, tau := range []float64{0.6, 0.7, 0.8, 0.9} {
+			for la := 1; la <= 40; la++ {
+				lo := MinSize(f, tau, la)
+				hi := MaxSize(f, tau, la)
+				for lb := 1; lb <= 2*la+4; lb++ {
+					maxO := la
+					if lb < maxO {
+						maxO = lb
+					}
+					best := FromOverlap(f, maxO, la, lb)
+					reachable := best >= tau-1e-12
+					inside := lb >= lo && lb <= hi
+					if reachable != inside {
+						t.Fatalf("%v τ=%v la=%d lb=%d: reachable=%v inside=[%d,%d]",
+							f, tau, la, lb, reachable, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixLenJaccard(t *testing.T) {
+	// l=10, τ=0.8: p = 10 - 8 + 1 = 3
+	if got := PrefixLen(Jaccard, 0.8, 10); got != 3 {
+		t.Fatalf("got %d want 3", got)
+	}
+	if got := PrefixLen(Jaccard, 0.8, 0); got != 0 {
+		t.Fatalf("empty: got %d want 0", got)
+	}
+	if got := PrefixLen(Jaccard, 0.99, 1); got != 1 {
+		t.Fatalf("tiny: got %d want 1", got)
+	}
+}
+
+// TestPrefixFilterComplete is the correctness theorem behind the whole
+// system: any pair reaching the threshold must share a token within their
+// symmetric prefixes, for every supported function.
+func TestPrefixFilterComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		for _, tau := range []float64{0.6, 0.7, 0.8, 0.9} {
+			for trial := 0; trial < 300; trial++ {
+				a := randomSet(rng, 1+rng.Intn(20), 40)
+				b := randomSet(rng, 1+rng.Intn(20), 40)
+				if Of(f, a, b) < tau {
+					continue
+				}
+				pa := PrefixLen(f, tau, len(a))
+				pb := PrefixLen(f, tau, len(b))
+				if IntersectSize(a[:pa], b[:pb]) == 0 {
+					t.Fatalf("%v τ=%v: similar pair with disjoint prefixes\na=%v (p=%d)\nb=%v (p=%d) sim=%v",
+						f, tau, a, pa, b, pb, Of(f, a, b))
+				}
+			}
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand, n, universe int) []tokens.Rank {
+	seen := make(map[tokens.Rank]bool)
+	out := make([]tokens.Rank, 0, n)
+	for len(out) < n {
+		r := tokens.Rank(rng.Intn(universe))
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return tokens.Dedup(out)
+}
+
+func TestIntersectSize(t *testing.T) {
+	if got := IntersectSize(set(1, 2, 3), set(2, 3, 4)); got != 2 {
+		t.Fatalf("got %d want 2", got)
+	}
+	if got := IntersectSize(nil, set(1)); got != 0 {
+		t.Fatalf("got %d want 0", got)
+	}
+}
+
+func TestVerifyOverlap(t *testing.T) {
+	a := set(1, 2, 3, 4, 5)
+	b := set(2, 4, 6, 8, 10)
+	o, ok := VerifyOverlap(a, b, 2)
+	if !ok || o != 2 {
+		t.Fatalf("got (%d,%v) want (2,true)", o, ok)
+	}
+	if _, ok := VerifyOverlap(a, b, 3); ok {
+		t.Fatal("requirement 3 should fail (true overlap is 2)")
+	}
+}
+
+func TestVerifyOverlapZeroRequiredReturnsExact(t *testing.T) {
+	a := set(1, 2, 3)
+	b := set(3)
+	o, ok := VerifyOverlap(a, b, 0)
+	if !ok || o != 1 {
+		t.Fatalf("got (%d,%v) want (1,true)", o, ok)
+	}
+}
+
+func TestVerifyOverlapMatchesIntersectProperty(t *testing.T) {
+	f := func(xs, ys []uint32, reqRaw uint8) bool {
+		a := tokens.Dedup(append([]tokens.Rank{}, xs...))
+		b := tokens.Dedup(append([]tokens.Rank{}, ys...))
+		req := int(reqRaw % 16)
+		truth := IntersectSize(a, b)
+		o, ok := VerifyOverlap(a, b, req)
+		if ok != (truth >= req) {
+			return false
+		}
+		if ok && o != truth {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyOverlapFromResumesCorrectly(t *testing.T) {
+	a := set(1, 2, 3, 4, 5, 6)
+	b := set(1, 2, 3, 4, 5, 6)
+	// Pretend candidate generation matched prefix tokens a[0..1] and b[0..1]
+	// with overlap 2; resuming from (2,2,2) must find total 6.
+	o, ok := VerifyOverlapFrom(a, b, 2, 2, 2, 6)
+	if !ok || o != 6 {
+		t.Fatalf("got (%d,%v) want (6,true)", o, ok)
+	}
+	if _, ok := VerifyOverlapFrom(a, b, 2, 2, 2, 7); ok {
+		t.Fatal("requirement 7 cannot be met")
+	}
+}
+
+func TestFuncStringRoundTrip(t *testing.T) {
+	for _, f := range []Func{Jaccard, Cosine, Dice, Overlap} {
+		got, err := ParseFunc(f.String())
+		if err != nil || got != f {
+			t.Fatalf("round trip %v: got %v err %v", f, got, err)
+		}
+	}
+	if _, err := ParseFunc("nope"); err == nil {
+		t.Fatal("expected error for unknown func name")
+	}
+}
+
+func TestOverlapFuncThresholdSemantics(t *testing.T) {
+	// Overlap threshold is an absolute count.
+	if got := MinSize(Overlap, 3, 10); got != 3 {
+		t.Fatalf("MinSize: got %d want 3", got)
+	}
+	if got := RequiredOverlap(Overlap, 3, 10, 20); got != 3 {
+		t.Fatalf("RequiredOverlap: got %d want 3", got)
+	}
+	if got := MaxSize(Overlap, 3, 10); got != math.MaxInt32 {
+		t.Fatalf("MaxSize: got %d want MaxInt32", got)
+	}
+	if got := PrefixLen(Overlap, 3, 10); got != 8 {
+		t.Fatalf("PrefixLen: got %d want 8", got)
+	}
+}
+
+func TestCosineAndDiceBounds(t *testing.T) {
+	// Cosine τ=0.8, l=10: min ⌈0.64·10⌉=7, max ⌊10/0.64⌋=15, prefix 10-7+1=4.
+	if got := MinSize(Cosine, 0.8, 10); got != 7 {
+		t.Fatalf("cosine MinSize: %d", got)
+	}
+	if got := MaxSize(Cosine, 0.8, 10); got != 15 {
+		t.Fatalf("cosine MaxSize: %d", got)
+	}
+	if got := PrefixLen(Cosine, 0.8, 10); got != 4 {
+		t.Fatalf("cosine PrefixLen: %d", got)
+	}
+	// Cosine required overlap la=9, lb=16: ⌈0.8·12⌉=10.
+	if got := RequiredOverlap(Cosine, 0.8, 9, 16); got != 10 {
+		t.Fatalf("cosine RequiredOverlap: %d", got)
+	}
+	// Dice τ=0.8, l=10: min ⌈(0.8/1.2)·10⌉=7, max ⌊1.2/0.8·10⌋=15.
+	if got := MinSize(Dice, 0.8, 10); got != 7 {
+		t.Fatalf("dice MinSize: %d", got)
+	}
+	if got := MaxSize(Dice, 0.8, 10); got != 15 {
+		t.Fatalf("dice MaxSize: %d", got)
+	}
+	// Dice required overlap 10+10: ⌈0.8/2·20⌉=8.
+	if got := RequiredOverlap(Dice, 0.8, 10, 10); got != 8 {
+		t.Fatalf("dice RequiredOverlap: %d", got)
+	}
+}
+
+func TestRequiredOverlapMatchesDefinitionCosineDice(t *testing.T) {
+	for _, f := range []Func{Cosine, Dice} {
+		for _, tau := range []float64{0.6, 0.75, 0.9} {
+			for la := 1; la <= 25; la++ {
+				for lb := 1; lb <= 25; lb++ {
+					req := RequiredOverlap(f, tau, la, lb)
+					maxO := la
+					if lb < maxO {
+						maxO = lb
+					}
+					for o := 0; o <= maxO; o++ {
+						sim := FromOverlap(f, o, la, lb)
+						if (sim >= tau-1e-12) != (o >= req) {
+							t.Fatalf("%v τ=%v la=%d lb=%d o=%d: sim=%v req=%d",
+								f, tau, la, lb, o, sim, req)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyOverlapFromEarlyAbort(t *testing.T) {
+	a := set(1, 2, 3, 100, 200, 300)
+	b := set(1, 2, 3, 400, 500, 600)
+	// After matching the 3-token prefix, 3 more are required but the
+	// suffixes are disjoint: the merge must abort without reaching the end.
+	o, ok := VerifyOverlapFrom(a, b, 3, 3, 3, 6)
+	if ok {
+		t.Fatal("impossible requirement satisfied")
+	}
+	if o > 3 {
+		t.Fatalf("overlap overcounted: %d", o)
+	}
+}
+
+func TestFuncStringUnknown(t *testing.T) {
+	if got := Func(99).String(); got != "Func(99)" {
+		t.Fatalf("unknown func string: %q", got)
+	}
+}

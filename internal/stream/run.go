@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// taskRun is one executor: a task instance with its input queue and output
+// routing tables.
+type taskRun struct {
+	comp *component
+	idx  int
+
+	in        chan Tuple
+	producers atomic.Int64 // upstream tasks still running; close(in) at zero
+
+	outs []*edgeOut
+
+	counters *TaskCounters
+	bolt     Bolt
+	spout    Spout
+}
+
+// edgeOut is one producer task's view of a downstream subscription.
+type edgeOut struct {
+	stream   string
+	sel      Selector
+	dests    []*taskRun
+	counters *EdgeCounters
+}
+
+// emitter implements Emitter for one producer task.
+type emitter struct {
+	outs     []*edgeOut
+	counters *TaskCounters
+	buf      []int
+}
+
+func (e *emitter) Emit(t Tuple) { e.EmitTo(DefaultStream, t) }
+
+func (e *emitter) EmitTo(stream string, t Tuple) {
+	e.counters.Emitted.Add(1)
+	size := uint64(t.SizeBytes())
+	for _, out := range e.outs {
+		if out.stream != stream {
+			continue
+		}
+		e.buf = e.buf[:0]
+		e.buf = out.sel.Select(t, e.buf)
+		if n := len(e.buf); n > 0 {
+			out.counters.Tuples.Add(uint64(n))
+			out.counters.Bytes.Add(size * uint64(n))
+		}
+		for _, d := range e.buf {
+			out.dests[d].in <- t
+		}
+	}
+}
+
+// done signals that one upstream producer of t finished; the last producer
+// closes the input queue.
+func (t *taskRun) done() {
+	if t.producers.Add(-1) == 0 {
+		close(t.in)
+	}
+}
+
+// Run validates the topology, executes it to completion, and returns the
+// traffic and work report. Spouts drive termination: when every spout task
+// is exhausted, completion propagates down the DAG; Run returns when the
+// last task finishes.
+func (tp *Topology) Run() (*Report, error) {
+	if err := tp.validate(); err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		Topology: tp.name,
+		Edges:    make(map[EdgeKey]*EdgeCounters),
+		Tasks:    make(map[string][]*TaskCounters),
+		Bolts:    make(map[string][]Bolt),
+	}
+
+	// Materialize tasks.
+	tasks := make(map[string][]*taskRun)
+	for _, name := range tp.order {
+		c := tp.comps[name]
+		runs := make([]*taskRun, c.par)
+		counters := make([]*TaskCounters, c.par)
+		for i := 0; i < c.par; i++ {
+			tr := &taskRun{comp: c, idx: i, counters: &TaskCounters{}}
+			if c.boltF != nil {
+				tr.in = make(chan Tuple, tp.queueCap)
+				tr.bolt = c.boltF(i)
+				report.Bolts[name] = append(report.Bolts[name], tr.bolt)
+			} else {
+				tr.spout = c.spoutF(i)
+			}
+			runs[i] = tr
+			counters[i] = tr.counters
+		}
+		tasks[name] = runs
+		report.Tasks[name] = counters
+	}
+
+	// Wire edges: for each consumer input, every producer task gets an
+	// edgeOut with its own selector; consumers count their producers.
+	for _, name := range tp.order {
+		c := tp.comps[name]
+		for _, in := range c.inputs {
+			key := EdgeKey{From: in.from, To: name}
+			ec, ok := report.Edges[key]
+			if !ok {
+				ec = &EdgeCounters{}
+				report.Edges[key] = ec
+			}
+			dests := tasks[name]
+			streamName := in.stream
+			if streamName == "" {
+				streamName = DefaultStream
+			}
+			for _, prod := range tasks[in.from] {
+				prod.outs = append(prod.outs, &edgeOut{
+					stream:   streamName,
+					sel:      in.grouping.NewSelector(len(dests)),
+					dests:    dests,
+					counters: ec,
+				})
+			}
+			for _, d := range dests {
+				d.producers.Add(int64(len(tasks[in.from])))
+			}
+		}
+	}
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked []error
+	)
+	for _, name := range tp.order {
+		for _, tr := range tasks[name] {
+			wg.Add(1)
+			go func(tr *taskRun) {
+				defer wg.Done()
+				if err := tr.run(); err != nil {
+					panicMu.Lock()
+					panicked = append(panicked, err)
+					panicMu.Unlock()
+				}
+			}(tr)
+		}
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	if len(panicked) > 0 {
+		return report, fmt.Errorf("stream: %d task(s) panicked; first: %w", len(panicked), panicked[0])
+	}
+	return report, nil
+}
+
+// run executes the task loop, converting panics in user code (spouts and
+// bolts) into errors so one faulty operator cannot crash the host process.
+// Downstream completion still propagates, so the topology drains instead
+// of deadlocking.
+func (t *taskRun) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task %s[%d] panicked: %v", t.comp.name, t.idx, r)
+		}
+		// Always notify downstream — also on panic, or consumers wait
+		// forever. Drain our input so upstream producers can finish.
+		if t.in != nil {
+			go func() {
+				for range t.in {
+				}
+			}()
+		}
+		for _, out := range t.outs {
+			seen := make(map[*taskRun]bool, len(out.dests))
+			for _, d := range out.dests {
+				if !seen[d] {
+					seen[d] = true
+					d.done()
+				}
+			}
+		}
+	}()
+	t.loop()
+	return nil
+}
+
+// loop is the executor body: spouts pull, bolts drain their queue; both
+// notify downstream on completion.
+func (t *taskRun) loop() {
+	em := &emitter{outs: t.outs, counters: t.counters}
+	if t.spout != nil {
+		for {
+			tu, ok := t.spout.Next()
+			if !ok {
+				break
+			}
+			t.counters.Executed.Add(1)
+			em.Emit(tu)
+		}
+	} else {
+		for tu := range t.in {
+			t.counters.Executed.Add(1)
+			t.bolt.Execute(tu, em)
+		}
+		if f, ok := t.bolt.(Flusher); ok {
+			f.Flush(em)
+		}
+	}
+}

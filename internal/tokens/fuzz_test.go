@@ -1,0 +1,39 @@
+package tokens
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzWordTokenizer: arbitrary (possibly invalid UTF-8) input must never
+// panic and never produce empty tokens.
+func FuzzWordTokenizer(f *testing.F) {
+	f.Add("hello, world")
+	f.Add("  \t\n ")
+	f.Add("日本語 テキスト")
+	f.Add(string([]byte{0xFF, 0xFE, 0x20, 0x41}))
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, tok := range (WordTokenizer{}).Tokenize(text) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+		}
+	})
+}
+
+// FuzzQGramTokenizer: grams must cover the string and have length <= Q
+// runes.
+func FuzzQGramTokenizer(f *testing.F) {
+	f.Add("abcdef", 3)
+	f.Add("", 2)
+	f.Add("é", 4)
+	f.Fuzz(func(t *testing.T, text string, q int) {
+		q = int(uint(q)%6) + 1 // 1..6, safe for all ints including MinInt
+		grams := QGramTokenizer{Q: q}.Tokenize(text)
+		for _, g := range grams {
+			if n := utf8.RuneCountInString(g); n > q {
+				t.Fatalf("gram %q has %d runes > q=%d", g, n, q)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package tokens
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Save serializes the dictionary (words in id order with their document
+// frequencies) so a text pipeline can be restored with identical token
+// ids.
+func (d *Dictionary) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	if err := put(uint64(len(d.words))); err != nil {
+		return err
+	}
+	for i, word := range d.words {
+		if err := put(uint64(len(word))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return err
+		}
+		if err := put(d.freq[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadDictionary reads a dictionary written by Save. The reader must be
+// positioned exactly at the start of the dictionary; trailing data is left
+// unread only when r is buffered by the caller — use a *bufio.Reader when
+// concatenating sections.
+func LoadDictionary(r io.ByteReader) (*Dictionary, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("tokens: dictionary count: %w", err)
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("tokens: absurd dictionary size %d", n)
+	}
+	d := NewDictionary()
+	for i := uint64(0); i < n; i++ {
+		wl, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("tokens: word %d length: %w", i, err)
+		}
+		if wl > 1<<20 {
+			return nil, fmt.Errorf("tokens: absurd word length %d", wl)
+		}
+		buf := make([]byte, wl)
+		for j := range buf {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("tokens: word %d bytes: %w", i, err)
+			}
+			buf[j] = b
+		}
+		id := d.Intern(string(buf))
+		f, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("tokens: word %d freq: %w", i, err)
+		}
+		d.freq[id] = f
+	}
+	return d, nil
+}
+
+// Save serializes the ordering: the frozen rank table and the stable
+// post-frozen assignments, so restored pipelines map every known token to
+// the exact rank it had — which stored records depend on.
+func (o *Ordering) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	if err := put(uint64(o.frozen)); err != nil {
+		return err
+	}
+	for _, r := range o.rank[:o.frozen] {
+		if err := put(uint64(r)); err != nil {
+			return err
+		}
+	}
+	if err := put(uint64(len(o.extra))); err != nil {
+		return err
+	}
+	for tok, r := range o.extra {
+		if err := put(uint64(tok)); err != nil {
+			return err
+		}
+		if err := put(uint64(r)); err != nil {
+			return err
+		}
+	}
+	if err := put(uint64(o.next)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadOrdering reads an ordering written by Save, binding it to dict.
+func LoadOrdering(r io.ByteReader, dict *Dictionary) (*Ordering, error) {
+	frozen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("tokens: ordering frozen count: %w", err)
+	}
+	if frozen > 1<<28 {
+		return nil, fmt.Errorf("tokens: absurd frozen count %d", frozen)
+	}
+	o := &Ordering{
+		dict:   dict,
+		rank:   make([]Rank, frozen),
+		frozen: int(frozen),
+		extra:  make(map[Token]Rank),
+	}
+	for i := range o.rank {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("tokens: rank %d: %w", i, err)
+		}
+		o.rank[i] = Rank(v)
+	}
+	ne, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("tokens: extra count: %w", err)
+	}
+	if ne > 1<<28 {
+		return nil, fmt.Errorf("tokens: absurd extra count %d", ne)
+	}
+	for i := uint64(0); i < ne; i++ {
+		tok, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("tokens: extra token: %w", err)
+		}
+		rk, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("tokens: extra rank: %w", err)
+		}
+		o.extra[Token(tok)] = Rank(rk)
+	}
+	next, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("tokens: ordering next: %w", err)
+	}
+	o.next = Rank(next)
+	return o, nil
+}

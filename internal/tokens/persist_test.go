@@ -1,0 +1,99 @@
+package tokens
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDictionarySaveLoadRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	words := []string{"alpha", "beta", "γάμμα", "", "with space"}
+	for i, w := range words {
+		id := d.Intern(w)
+		for j := 0; j <= i; j++ {
+			d.Observe([]Token{id})
+		}
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDictionary(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != d.Size() {
+		t.Fatalf("size: %d vs %d", got.Size(), d.Size())
+	}
+	for i, w := range words {
+		id, ok := got.Lookup(w)
+		if !ok || id != Token(i) {
+			t.Fatalf("word %q: id %d ok %v", w, id, ok)
+		}
+		if got.Frequency(id) != d.Frequency(id) {
+			t.Fatalf("freq of %q: %d vs %d", w, got.Frequency(id), d.Frequency(id))
+		}
+	}
+}
+
+func TestOrderingSaveLoadPreservesRanks(t *testing.T) {
+	d := NewDictionary()
+	for _, w := range []string{"a", "b", "c", "d"} {
+		id := d.Intern(w)
+		d.Observe([]Token{id})
+	}
+	o := NewOrdering(d)
+	// Force two post-frozen assignments.
+	late1 := d.Intern("late1")
+	late2 := d.Intern("late2")
+	r1, r2 := o.RankOf(late1), o.RankOf(late2)
+
+	var db, ob bytes.Buffer
+	if err := d.Save(&db); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Save(&ob); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadDictionary(bufio.NewReader(&db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := LoadOrdering(bufio.NewReader(&ob), d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Size(); i++ {
+		if o.RankOf(Token(i)) != o2.RankOf(Token(i)) {
+			t.Fatalf("rank of token %d differs: %d vs %d",
+				i, o.RankOf(Token(i)), o2.RankOf(Token(i)))
+		}
+	}
+	if o2.RankOf(late1) != r1 || o2.RankOf(late2) != r2 {
+		t.Fatal("post-frozen ranks not preserved")
+	}
+	// New tokens after restore continue the rank sequence.
+	newer := d2.Intern("newer")
+	if got := o2.RankOf(newer); got != r2+1 {
+		t.Fatalf("next rank: got %d want %d", got, r2+1)
+	}
+}
+
+func TestLoadDictionaryRejectsGarbage(t *testing.T) {
+	if _, err := LoadDictionary(bufio.NewReader(strings.NewReader(""))); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Absurd count.
+	if _, err := LoadDictionary(bufio.NewReader(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}))); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestLoadOrderingRejectsGarbage(t *testing.T) {
+	d := NewDictionary()
+	if _, err := LoadOrdering(bufio.NewReader(strings.NewReader("")), d); err == nil {
+		t.Fatal("empty accepted")
+	}
+}

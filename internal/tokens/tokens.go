@@ -1,0 +1,232 @@
+// Package tokens provides the token universe for set-similarity joins: a
+// string-interning dictionary, tokenizers that split raw text into token
+// multisets, and a global frequency ordering that maps tokens to ranks so
+// that ascending rank means ascending document frequency. Prefix filtering
+// depends on that ordering: rare tokens sort first, so short prefixes carry
+// maximal pruning power.
+package tokens
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Token is an interned token identifier. Identifiers are dense and start at
+// zero, so they index directly into Dictionary side tables.
+type Token uint32
+
+// Rank is a position in a global frequency ordering. Lower rank means lower
+// document frequency (rarer token). Records are stored as ascending rank
+// sequences; see Ordering.
+type Rank = uint32
+
+// Dictionary interns token strings and tracks per-token document frequency.
+// The zero value is not usable; call NewDictionary. Dictionary is not safe
+// for concurrent mutation; wrap it or shard it upstream if needed.
+type Dictionary struct {
+	ids   map[string]Token
+	words []string
+	freq  []uint64
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]Token)}
+}
+
+// Intern returns the Token for word, creating it with zero frequency when
+// unseen.
+func (d *Dictionary) Intern(word string) Token {
+	if id, ok := d.ids[word]; ok {
+		return id
+	}
+	id := Token(len(d.words))
+	d.ids[word] = id
+	d.words = append(d.words, word)
+	d.freq = append(d.freq, 0)
+	return id
+}
+
+// Lookup returns the Token for word without creating it.
+func (d *Dictionary) Lookup(word string) (Token, bool) {
+	id, ok := d.ids[word]
+	return id, ok
+}
+
+// Word returns the string for id. It panics if id was never interned, which
+// indicates a programming error (ids only come from this dictionary).
+func (d *Dictionary) Word(id Token) string {
+	return d.words[id]
+}
+
+// Size reports the number of distinct tokens interned so far.
+func (d *Dictionary) Size() int { return len(d.words) }
+
+// Observe records one document-frequency observation for each distinct token
+// in set. Call it once per record with the record's deduplicated tokens.
+func (d *Dictionary) Observe(set []Token) {
+	for _, t := range set {
+		d.freq[t]++
+	}
+}
+
+// Frequency returns the number of Observe calls that included id.
+func (d *Dictionary) Frequency(id Token) uint64 { return d.freq[id] }
+
+// Ordering maps tokens to ranks such that ascending rank means ascending
+// document frequency at the time the ordering was built. Tokens interned
+// after the ordering was built ("unseen" tokens) are assigned ranks above
+// every frozen token but in a stable first-come order; they are rare by
+// definition, and placing them after the frozen range keeps frozen ranks
+// immutable, which streaming indexes require.
+type Ordering struct {
+	dict   *Dictionary
+	rank   []Rank // indexed by Token; valid for tokens frozen at build time
+	frozen int    // number of tokens covered by rank
+	extra  map[Token]Rank
+	next   Rank
+}
+
+// NewOrdering freezes the current frequency statistics of dict into a global
+// ordering. Ties are broken by token id so the ordering is deterministic.
+func NewOrdering(dict *Dictionary) *Ordering {
+	n := dict.Size()
+	ids := make([]Token, n)
+	for i := range ids {
+		ids[i] = Token(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		fa, fb := dict.freq[ids[a]], dict.freq[ids[b]]
+		if fa != fb {
+			return fa < fb
+		}
+		return ids[a] < ids[b]
+	})
+	rank := make([]Rank, n)
+	for r, id := range ids {
+		rank[id] = Rank(r)
+	}
+	return &Ordering{
+		dict:   dict,
+		rank:   rank,
+		frozen: n,
+		extra:  make(map[Token]Rank),
+		next:   Rank(n),
+	}
+}
+
+// RankOf returns the global rank of id, assigning a fresh post-frozen rank
+// to tokens unseen at build time.
+func (o *Ordering) RankOf(id Token) Rank {
+	if int(id) < o.frozen {
+		return o.rank[id]
+	}
+	if r, ok := o.extra[id]; ok {
+		return r
+	}
+	r := o.next
+	o.next++
+	o.extra[id] = r
+	return r
+}
+
+// Universe reports the number of ranks assigned so far.
+func (o *Ordering) Universe() int { return int(o.next) }
+
+// DumpRanks visits every (token, rank) assignment made so far — the frozen
+// table plus post-frozen extras. Ordering-refresh uses it to build the
+// inverse mapping when re-encoding stored records.
+func (o *Ordering) DumpRanks(visit func(Token, Rank)) {
+	for id := 0; id < o.frozen; id++ {
+		visit(Token(id), o.rank[id])
+	}
+	for id, r := range o.extra {
+		visit(id, r)
+	}
+}
+
+// Tokenizer splits raw text into a token string slice. Implementations must
+// be deterministic; dedup happens downstream.
+type Tokenizer interface {
+	Tokenize(text string) []string
+}
+
+// WordTokenizer splits on Unicode whitespace, lowercases, and strips leading
+// and trailing punctuation from each word. The zero value is ready to use.
+type WordTokenizer struct {
+	// KeepCase disables lowercasing when true.
+	KeepCase bool
+}
+
+// Tokenize implements Tokenizer.
+func (w WordTokenizer) Tokenize(text string) []string {
+	fields := strings.FieldsFunc(text, unicode.IsSpace)
+	out := fields[:0]
+	for _, f := range fields {
+		f = strings.TrimFunc(f, unicode.IsPunct)
+		if f == "" {
+			continue
+		}
+		if !w.KeepCase {
+			f = strings.ToLower(f)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// QGramTokenizer produces overlapping character q-grams; it is the usual
+// choice for short dirty strings in data-cleaning workloads. Q must be at
+// least 1. Strings shorter than Q yield a single gram (the whole string).
+type QGramTokenizer struct {
+	Q int
+	// Pad, when true, pads the string with Q-1 leading and trailing '#'
+	// sentinels so edge characters appear in Q grams.
+	Pad bool
+}
+
+// Tokenize implements Tokenizer.
+func (q QGramTokenizer) Tokenize(text string) []string {
+	if q.Q < 1 {
+		panic(fmt.Sprintf("tokens: QGramTokenizer.Q must be >= 1, got %d", q.Q))
+	}
+	r := []rune(strings.ToLower(text))
+	if q.Pad && q.Q > 1 {
+		pad := make([]rune, q.Q-1)
+		for i := range pad {
+			pad[i] = '#'
+		}
+		r = append(append(append([]rune{}, pad...), r...), pad...)
+	}
+	if len(r) == 0 {
+		return nil
+	}
+	if len(r) <= q.Q {
+		return []string{string(r)}
+	}
+	out := make([]string, 0, len(r)-q.Q+1)
+	for i := 0; i+q.Q <= len(r); i++ {
+		out = append(out, string(r[i:i+q.Q]))
+	}
+	return out
+}
+
+// Dedup sorts ranks ascending and removes duplicates in place, returning the
+// shortened slice. Records are sets, so every pipeline stage calls this once
+// at ingestion.
+func Dedup(ranks []Rank) []Rank {
+	if len(ranks) < 2 {
+		return ranks
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	w := 1
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i] != ranks[i-1] {
+			ranks[w] = ranks[i]
+			w++
+		}
+	}
+	return ranks[:w]
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package topology
+
+// raceEnabled reports whether the race detector is active; timing-sensitive
+// tests (wall-clock burn ratios) skip under its ~10x instrumentation.
+const raceEnabled = true

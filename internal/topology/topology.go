@@ -1,0 +1,383 @@
+// Package topology assembles the distributed streaming set-similarity join:
+// a source spout replaying the record stream, a dispatcher bolt applying a
+// distribution strategy, worker bolts hosting local joiners, and a sink
+// collecting result pairs and latency. It is the glue between the stream
+// engine substrate and the join algorithms, and the unit the experiment
+// harness runs.
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/dispatch"
+	"repro/internal/filter"
+	"repro/internal/local"
+	"repro/internal/metrics"
+	"repro/internal/record"
+	"repro/internal/reorder"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// RecTuple carries one record from source through dispatcher to workers.
+// Enq is the ingestion wall-clock time used for latency measurement; Right
+// marks the record's stream side in two-stream (R⋈S) runs and is always
+// false for self-joins.
+type RecTuple struct {
+	Rec   *record.Record
+	Enq   time.Time
+	Right bool
+}
+
+// SizeBytes approximates the wire size: record header (id + time + length)
+// plus 4 bytes per token.
+func (t RecTuple) SizeBytes() int { return 24 + 4*len(t.Rec.Tokens) }
+
+// ResultTuple carries one verified join pair from a worker to the sink.
+type ResultTuple struct {
+	Pair record.Pair
+	Enq  time.Time
+}
+
+// SizeBytes implements stream.Tuple.
+func (ResultTuple) SizeBytes() int { return 24 }
+
+// Config specifies one join topology run.
+type Config struct {
+	// Workers is the joiner parallelism (required, >= 1).
+	Workers int
+	// Strategy distributes records to workers (required).
+	Strategy dispatch.Strategy
+	// Algorithm selects the local joiner (default Prefix).
+	Algorithm local.Algorithm
+	// Params are the join function and threshold (required).
+	Params filter.Params
+	// Window bounds join partners (default unbounded).
+	Window window.Policy
+	// Bundle tunes the Bundled algorithm.
+	Bundle bundle.Config
+	// QueueCap is the per-task queue capacity (default 1024).
+	QueueCap int
+	// CollectPairs keeps every result pair in memory (tests and small
+	// runs); otherwise the sink only counts.
+	CollectPairs bool
+	// WireNsPerByte simulates cluster network cost: every worker burns
+	// this many nanoseconds of CPU per received tuple byte before
+	// processing it, modelling deserialization and NIC work that loopback
+	// channels skip. Zero (default) disables the simulation; see
+	// EXPERIMENTS.md E16 for calibration guidance.
+	WireNsPerByte int
+	// Dispatchers parallelizes the routing stage (default 1). With more
+	// than one dispatcher, records can reach a worker slightly out of
+	// order; each worker then runs a watermark reorder buffer whose slack
+	// covers the maximum in-flight skew (Dispatchers × queue capacity), so
+	// join semantics are unchanged. Result.LateDrops reports records that
+	// exceeded even that slack (0 in practice).
+	Dispatchers int
+}
+
+func (c Config) validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("topology: Workers must be >= 1, got %d", c.Workers)
+	}
+	if c.Strategy == nil {
+		return fmt.Errorf("topology: Strategy is required")
+	}
+	if c.Params.Threshold <= 0 {
+		return fmt.Errorf("topology: Params.Threshold must be positive")
+	}
+	return nil
+}
+
+// Result summarizes one completed run.
+type Result struct {
+	// Results is the number of verified pairs emitted.
+	Results uint64
+	// Pairs holds the result pairs when Config.CollectPairs was set.
+	Pairs []record.Pair
+	// Records is the number of source records processed.
+	Records uint64
+	// Elapsed is the topology wall time; Throughput derives from it.
+	Elapsed time.Duration
+	// CommTuples and CommBytes count dispatcher→worker traffic — the
+	// simulated network cost of the distribution strategy.
+	CommTuples, CommBytes uint64
+	// StoredCopies sums records indexed across workers (replication).
+	StoredCopies uint64
+	// WorkerCosts are per-worker join work counters, for load analysis.
+	WorkerCosts []local.Cost
+	// Latency aggregates per-record processing latency across workers
+	// (enqueue at source to completion of the record's probe).
+	Latency metrics.Latency
+	// LateDrops counts records that arrived at a worker beyond the reorder
+	// slack (only possible with Dispatchers > 1; expected 0).
+	LateDrops uint64
+	// Report is the raw engine report.
+	Report *stream.Report
+}
+
+// Throughput returns the end-to-end record rate.
+func (r *Result) Throughput() metrics.Throughput {
+	return metrics.Throughput{Records: r.Records, Elapsed: r.Elapsed}
+}
+
+// sourceSpout replays a slice of records, stamping ingestion time.
+type sourceSpout struct {
+	recs []*record.Record
+	i    int
+}
+
+// Next implements stream.Spout.
+func (s *sourceSpout) Next() (stream.Tuple, bool) {
+	if s.i >= len(s.recs) {
+		return nil, false
+	}
+	r := s.recs[s.i]
+	s.i++
+	return RecTuple{Rec: r, Enq: time.Now()}, true
+}
+
+// BiRecord tags a record with its stream side for two-stream joins.
+type BiRecord struct {
+	Rec   *record.Record
+	Right bool
+}
+
+// biSourceSpout replays a two-sided stream.
+type biSourceSpout struct {
+	recs []BiRecord
+	i    int
+}
+
+// Next implements stream.Spout.
+func (s *biSourceSpout) Next() (stream.Tuple, bool) {
+	if s.i >= len(s.recs) {
+		return nil, false
+	}
+	br := s.recs[s.i]
+	s.i++
+	return RecTuple{Rec: br.Rec, Enq: time.Now(), Right: br.Right}, true
+}
+
+// dispatcherBolt forwards records; routing happens in the grouping between
+// dispatcher and workers, mirroring how Storm topologies separate the
+// routing decision (grouping) from operator logic.
+type dispatcherBolt struct{}
+
+// Execute implements stream.Bolt.
+func (dispatcherBolt) Execute(t stream.Tuple, em stream.Emitter) { em.Emit(t) }
+
+// workerBolt hosts one local joiner and applies the strategy's store and
+// emit arbitration.
+type workerBolt struct {
+	task      int
+	k         int
+	strat     dispatch.Strategy
+	joiner    local.Joiner
+	lat       metrics.Latency
+	stored    uint64
+	results   uint64
+	wirePerB  int
+	wireBurnt time.Duration
+	// reorder restores arrival order under parallel dispatchers
+	// (nil when Dispatchers == 1).
+	reorder *reorder.Buffer[RecTuple]
+	// bi replaces joiner in two-stream runs.
+	bi *local.BiJoiner
+}
+
+// burn spins the CPU for roughly d, standing in for per-tuple network and
+// deserialization work on a real cluster.
+func burn(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// Execute implements stream.Bolt: probe (always), store when the strategy
+// assigns the record here, and emit deduplicated results. With parallel
+// dispatchers the record first passes the reorder buffer so the joiner
+// always sees nondecreasing sequence numbers.
+func (w *workerBolt) Execute(t stream.Tuple, em stream.Emitter) {
+	rt := t.(RecTuple)
+	if w.wirePerB > 0 {
+		d := time.Duration(w.wirePerB * rt.SizeBytes())
+		burn(d)
+		w.wireBurnt += d
+	}
+	if w.reorder != nil {
+		w.reorder.Push(rt, func(ordered RecTuple) { w.process(ordered, em) })
+		return
+	}
+	w.process(rt, em)
+}
+
+// Flush drains the reorder buffer at stream end.
+func (w *workerBolt) Flush(em stream.Emitter) {
+	if w.reorder != nil {
+		w.reorder.Flush(func(ordered RecTuple) { w.process(ordered, em) })
+	}
+}
+
+func (w *workerBolt) process(rt RecTuple, em stream.Emitter) {
+	r := rt.Rec
+	store := w.strat.Stores(r, w.task, w.k)
+	if store {
+		w.stored++
+	}
+	emit := func(m local.Match) {
+		if !w.strat.Emits(r, m.Rec, w.task, w.k) {
+			return
+		}
+		w.results++
+		em.Emit(ResultTuple{Pair: record.NewPair(r.ID, m.Rec.ID, m.Sim), Enq: rt.Enq})
+	}
+	if w.bi != nil {
+		w.bi.StepSide(r, rt.Right, store, emit)
+	} else {
+		w.joiner.Step(r, store, emit)
+	}
+	w.lat.Observe(time.Since(rt.Enq))
+}
+
+// sinkBolt counts (and optionally keeps) result pairs.
+type sinkBolt struct {
+	collect bool
+	count   uint64
+	pairs   []record.Pair
+}
+
+// Execute implements stream.Bolt.
+func (s *sinkBolt) Execute(t stream.Tuple, _ stream.Emitter) {
+	rt := t.(ResultTuple)
+	s.count++
+	if s.collect {
+		s.pairs = append(s.pairs, rt.Pair)
+	}
+}
+
+// Run executes one self-join over the record slice and returns the
+// summary.
+func Run(recs []*record.Record, cfg Config) (*Result, error) {
+	return run(cfg, uint64(len(recs)), func(int) stream.Spout {
+		return &sourceSpout{recs: recs}
+	}, false)
+}
+
+// RunBi executes one two-stream (R⋈S) join over the side-tagged stream:
+// each record matches only stored records of the opposite side. Record IDs
+// must be globally increasing in arrival order, exactly as for Run.
+func RunBi(recs []BiRecord, cfg Config) (*Result, error) {
+	return run(cfg, uint64(len(recs)), func(int) stream.Spout {
+		return &biSourceSpout{recs: recs}
+	}, true)
+}
+
+func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window == nil {
+		cfg.Window = window.Unbounded{}
+	}
+
+	if cfg.Dispatchers < 1 {
+		cfg.Dispatchers = 1
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 1024
+	}
+
+	tp := stream.New("ssjoin-"+cfg.Strategy.Name(), cfg.QueueCap)
+	tp.AddSpout("source", spoutF, 1)
+	tp.AddBolt("dispatcher", func(int) stream.Bolt {
+		return dispatcherBolt{}
+	}, cfg.Dispatchers).SubscribeTo("source", stream.Shuffle{})
+
+	k := cfg.Workers
+	routeGrouping := stream.PartitionFunc(func(t stream.Tuple, n int, buf []int) []int {
+		return cfg.Strategy.Route(t.(RecTuple).Rec, n, buf)
+	})
+	// With one dispatcher arrival order is FIFO end to end; with several,
+	// skew is bounded by what can be in flight across dispatcher queues.
+	var slack uint64
+	if cfg.Dispatchers > 1 {
+		slack = uint64(cfg.Dispatchers)*uint64(queueCap) + 64
+	}
+	tp.AddBolt("worker", func(task int) stream.Bolt {
+		opts := local.Options{
+			Params: cfg.Params,
+			Window: cfg.Window,
+			Bundle: cfg.Bundle,
+		}
+		w := &workerBolt{
+			task:     task,
+			k:        k,
+			strat:    cfg.Strategy,
+			wirePerB: cfg.WireNsPerByte,
+		}
+		if bi {
+			w.bi = local.NewBi(cfg.Algorithm, opts)
+		} else {
+			w.joiner = local.New(cfg.Algorithm, opts)
+		}
+		if slack > 0 {
+			w.reorder = reorder.New(slack, func(rt RecTuple) uint64 { return uint64(rt.Rec.ID) })
+		}
+		return w
+	}, k).SubscribeTo("dispatcher", routeGrouping)
+
+	tp.AddBolt("sink", func(int) stream.Bolt {
+		return &sinkBolt{collect: cfg.CollectPairs}
+	}, 1).SubscribeTo("worker", stream.Shuffle{})
+
+	rep, err := tp.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Records: nrecs,
+		Elapsed: rep.Elapsed,
+		Report:  rep,
+	}
+	res.CommTuples = rep.EdgeTuples("dispatcher", "worker")
+	if e, ok := rep.Edges[stream.EdgeKey{From: "dispatcher", To: "worker"}]; ok {
+		res.CommBytes = e.Bytes.Load()
+	}
+	for _, b := range rep.Bolts["worker"] {
+		w := b.(*workerBolt)
+		if w.bi != nil {
+			cl, cr := w.bi.CostLeft(), w.bi.CostRight()
+			res.WorkerCosts = append(res.WorkerCosts, local.Cost{
+				Probes:      cl.Probes + cr.Probes,
+				Stored:      cl.Stored + cr.Stored,
+				Scanned:     cl.Scanned + cr.Scanned,
+				Candidates:  cl.Candidates + cr.Candidates,
+				Verified:    cl.Verified + cr.Verified,
+				Results:     cl.Results + cr.Results,
+				VerifySteps: cl.VerifySteps + cr.VerifySteps,
+				Postings:    cl.Postings + cr.Postings,
+			})
+		} else {
+			res.WorkerCosts = append(res.WorkerCosts, w.joiner.Cost())
+		}
+		res.StoredCopies += w.stored
+		res.Latency.Merge(&w.lat)
+		if w.reorder != nil {
+			res.LateDrops += w.reorder.Late()
+		}
+	}
+	for _, b := range rep.Bolts["sink"] {
+		s := b.(*sinkBolt)
+		res.Results += s.count
+		res.Pairs = append(res.Pairs, s.pairs...)
+	}
+	return res, nil
+}

@@ -1,0 +1,440 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/filter"
+	"repro/internal/local"
+	"repro/internal/partition"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+func params(tau float64) filter.Params {
+	return filter.Params{Func: similarity.Jaccard, Threshold: tau}
+}
+
+func genStream(n int, seed int64) []*record.Record {
+	return workload.NewGenerator(workload.UniformSmall(seed)).Generate(n)
+}
+
+func histOf(recs []*record.Record) *partition.Histogram {
+	var h partition.Histogram
+	for _, r := range recs {
+		h.Add(r.Len())
+	}
+	return &h
+}
+
+func strategies(p filter.Params, recs []*record.Record, k int) []dispatch.Strategy {
+	h := histOf(recs)
+	w := partition.CostModel{Params: p}.Weights(h)
+	return []dispatch.Strategy{
+		dispatch.NewLengthBased(p, partition.LoadAware(w, k)),
+		dispatch.PrefixBased{Params: p},
+		dispatch.BroadcastBased{},
+	}
+}
+
+func bruteCount(recs []*record.Record, p filter.Params, win window.Policy) map[record.Pair]bool {
+	if win == nil {
+		win = window.Unbounded{}
+	}
+	out := make(map[record.Pair]bool)
+	for i, r := range recs {
+		for j := 0; j < i; j++ {
+			s := recs[j]
+			if !win.Live(s.ID, s.Time, r.ID, r.Time) {
+				continue
+			}
+			if similarity.Of(p.Func, r.Tokens, s.Tokens) >= p.Threshold-1e-12 {
+				out[record.NewPair(r.ID, s.ID, 0)] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestAllTopologiesMatchBruteForce is the system-level correctness gate:
+// every (strategy × algorithm × worker-count) combination must produce
+// exactly the brute-force pair set.
+func TestAllTopologiesMatchBruteForce(t *testing.T) {
+	p := params(0.6)
+	recs := genStream(500, 99)
+	want := bruteCount(recs, p, nil)
+	for _, k := range []int{1, 4} {
+		for _, strat := range strategies(p, recs, k) {
+			for _, alg := range []local.Algorithm{local.Naive, local.Prefix, local.Bundled} {
+				res, err := Run(recs, Config{
+					Workers:      k,
+					Strategy:     strat,
+					Algorithm:    alg,
+					Params:       p,
+					CollectPairs: true,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s k=%d: %v", strat.Name(), alg, k, err)
+				}
+				got := make(map[record.Pair]bool)
+				for _, pr := range res.Pairs {
+					key := record.Pair{First: pr.First, Second: pr.Second}
+					if got[key] {
+						t.Fatalf("%s/%s k=%d: duplicate pair %v", strat.Name(), alg, k, pr)
+					}
+					got[key] = true
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s k=%d: got %d pairs want %d",
+						strat.Name(), alg, k, len(got), len(want))
+				}
+				for pr := range want {
+					if !got[pr] {
+						t.Fatalf("%s/%s k=%d: missing %v", strat.Name(), alg, k, pr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWindowedTopologyMatchesBruteForce(t *testing.T) {
+	p := params(0.7)
+	recs := genStream(400, 3)
+	win := window.Count{N: 50}
+	want := bruteCount(recs, p, win)
+	k := 3
+	for _, strat := range strategies(p, recs, k) {
+		res, err := Run(recs, Config{
+			Workers:      k,
+			Strategy:     strat,
+			Algorithm:    local.Prefix,
+			Params:       p,
+			Window:       win,
+			CollectPairs: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(res.Results) != len(want) {
+			t.Fatalf("%s: got %d results want %d", strat.Name(), res.Results, len(want))
+		}
+	}
+}
+
+func TestCommunicationCostOrdering(t *testing.T) {
+	// At a high threshold, length-based must ship fewer tuples than
+	// broadcast (k copies each) and no more than prefix-based replication.
+	p := params(0.8)
+	recs := genStream(800, 17)
+	k := 8
+	counts := make(map[string]uint64)
+	for _, strat := range strategies(p, recs, k) {
+		res, err := Run(recs, Config{Workers: k, Strategy: strat, Algorithm: local.Prefix, Params: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[strat.Name()] = res.CommTuples
+	}
+	if counts["length"] >= counts["broadcast"] {
+		t.Fatalf("length %d should beat broadcast %d", counts["length"], counts["broadcast"])
+	}
+	if counts["broadcast"] != uint64(len(recs)*k) {
+		t.Fatalf("broadcast tuples: got %d want %d", counts["broadcast"], len(recs)*k)
+	}
+}
+
+func TestStoredCopiesNoReplicationForLength(t *testing.T) {
+	p := params(0.7)
+	recs := genStream(500, 21)
+	k := 6
+	strats := strategies(p, recs, k)
+	get := func(s dispatch.Strategy) uint64 {
+		res, err := Run(recs, Config{Workers: k, Strategy: s, Algorithm: local.Prefix, Params: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StoredCopies
+	}
+	if got := get(strats[0]); got != uint64(len(recs)) {
+		t.Fatalf("length-based stored copies: %d want %d", got, len(recs))
+	}
+	if got := get(strats[1]); got <= uint64(len(recs)) {
+		t.Fatalf("prefix-based should replicate, stored %d", got)
+	}
+	if got := get(strats[2]); got != uint64(len(recs)) {
+		t.Fatalf("broadcast stored copies: %d want %d", got, len(recs))
+	}
+}
+
+func TestResultMetricsPopulated(t *testing.T) {
+	p := params(0.6)
+	recs := genStream(300, 33)
+	res, err := Run(recs, Config{
+		Workers: 2, Strategy: strategies(p, recs, 2)[0],
+		Algorithm: local.Bundled, Params: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 300 {
+		t.Fatalf("records: %d", res.Records)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed missing")
+	}
+	if res.Throughput().PerSecond() <= 0 {
+		t.Fatal("throughput missing")
+	}
+	if len(res.WorkerCosts) != 2 {
+		t.Fatalf("worker costs: %d", len(res.WorkerCosts))
+	}
+	if res.Latency.Count() == 0 {
+		t.Fatal("latency not measured")
+	}
+	if res.CommTuples == 0 || res.CommBytes == 0 {
+		t.Fatal("communication not measured")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := params(0.8)
+	recs := genStream(10, 1)
+	cases := []Config{
+		{Workers: 0, Strategy: dispatch.BroadcastBased{}, Params: p},
+		{Workers: 2, Strategy: nil, Params: p},
+		{Workers: 2, Strategy: dispatch.BroadcastBased{}},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(recs, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSingleWorkerDegeneratesToLocalJoin(t *testing.T) {
+	p := params(0.75)
+	recs := genStream(300, 8)
+	res, err := Run(recs, Config{
+		Workers:  1,
+		Strategy: dispatch.BroadcastBased{},
+		Params:   p, CollectPairs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteCount(recs, p, nil)
+	if int(res.Results) != len(want) {
+		t.Fatalf("k=1: got %d want %d", res.Results, len(want))
+	}
+}
+
+// TestLiveMigrationInTopology runs the dispatch.Migrating strategy through
+// the real engine across a drifting stream with a count window and checks
+// the result set against brute force — live repartitioning end to end.
+func TestLiveMigrationInTopology(t *testing.T) {
+	const (
+		n    = 800
+		k    = 4
+		winN = 200
+	)
+	p := params(0.7)
+	phaseA := workload.NewGenerator(workload.AOLLike(41)).Generate(n / 2)
+	phaseB := workload.NewGenerator(workload.EnronLike(41)).Generate(n / 2)
+	recs := append([]*record.Record{}, phaseA...)
+	for i, r := range phaseB {
+		r.ID = record.ID(n/2 + i)
+		r.Time = int64(r.ID)
+		recs = append(recs, r)
+	}
+	var hA, hB partition.Histogram
+	for _, r := range phaseA {
+		hA.Add(r.Len())
+	}
+	for _, r := range phaseB {
+		hB.Add(r.Len())
+	}
+	cm := partition.CostModel{Params: p}
+	mig := dispatch.PlanMigration(p,
+		partition.LoadAware(cm.Weights(&hA), k),
+		partition.LoadAware(cm.Weights(&hB), k),
+		record.ID(n/2), winN)
+
+	win := window.Count{N: winN}
+	res, err := Run(recs, Config{
+		Workers:      k,
+		Strategy:     mig,
+		Algorithm:    local.Prefix,
+		Params:       p,
+		Window:       win,
+		CollectPairs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteCount(recs, p, win)
+	got := make(map[record.Pair]bool)
+	for _, pr := range res.Pairs {
+		key := record.Pair{First: pr.First, Second: pr.Second}
+		if got[key] {
+			t.Fatalf("duplicate pair %v", key)
+		}
+		got[key] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs want %d", len(got), len(want))
+	}
+	for pr := range want {
+		if !got[pr] {
+			t.Fatalf("missing %v", pr)
+		}
+	}
+}
+
+// TestWireCostSlowsBroadcastMore checks the E16 mechanism: simulated
+// network cost must hit broadcast (k copies) harder than length routing.
+func TestWireCostSlowsBroadcastMore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock burn ratios are meaningless under race instrumentation")
+	}
+	p := params(0.8)
+	recs := genStream(2000, 55)
+	k := 4
+	run := func(strat dispatch.Strategy, cost int) float64 {
+		res, err := Run(recs, Config{
+			Workers: k, Strategy: strat, Algorithm: local.Prefix,
+			Params: p, WireNsPerByte: cost,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput().PerSecond()
+	}
+	length := strategies(p, recs, k)[0]
+	bcast := dispatch.BroadcastBased{}
+	// When wire cost dominates, throughput is inversely proportional to
+	// received bytes: broadcast receives k copies of every record, so the
+	// length framework must be clearly faster in absolute terms.
+	lRate := run(length, 400)
+	bRate := run(bcast, 400)
+	if lRate < 1.5*bRate {
+		t.Fatalf("wire cost should separate frameworks: length %.0f vs broadcast %.0f rec/s",
+			lRate, bRate)
+	}
+}
+
+// TestParallelDispatchersMatchBruteForce: with several dispatchers and the
+// reorder buffer, windowed results must still be exact and nothing may be
+// dropped as late.
+func TestParallelDispatchersMatchBruteForce(t *testing.T) {
+	p := params(0.7)
+	recs := genStream(3000, 71)
+	win := window.Count{N: 400}
+	want := bruteCount(recs, p, win)
+	for _, d := range []int{2, 4} {
+		res, err := Run(recs, Config{
+			Workers:     3,
+			Dispatchers: d,
+			Strategy:    strategies(p, recs, 3)[0],
+			Algorithm:   local.Prefix,
+			Params:      p,
+			Window:      win,
+			QueueCap:    64, // small queues exercise the skew bound
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LateDrops != 0 {
+			t.Fatalf("d=%d: %d late drops", d, res.LateDrops)
+		}
+		if int(res.Results) != len(want) {
+			t.Fatalf("d=%d: got %d results want %d", d, res.Results, len(want))
+		}
+	}
+}
+
+// TestSoakAllStrategiesAgreeAtScale pushes a larger windowed stream through
+// every framework and checks result-count equality — the release soak.
+func TestSoakAllStrategiesAgreeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	p := params(0.8)
+	recs := workload.NewGenerator(workload.AOLLike(2026)).Generate(60000)
+	win := window.Count{N: 5000}
+	k := 8
+	var counts []uint64
+	for _, strat := range strategies(p, recs, k) {
+		res, err := Run(recs, Config{
+			Workers: k, Strategy: strat, Algorithm: local.Bundled,
+			Params: p, Window: win,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, res.Results)
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("strategies disagree at scale: %v", counts)
+	}
+	if counts[0] == 0 {
+		t.Fatal("no results on a duplicate-heavy stream")
+	}
+}
+
+// TestDistributedBiJoinMatchesLocal: the two-stream distributed join must
+// match a local BiJoiner run exactly, for every strategy.
+func TestDistributedBiJoinMatchesLocal(t *testing.T) {
+	p := params(0.7)
+	base := genStream(600, 123)
+	recs := make([]BiRecord, len(base))
+	for i, r := range base {
+		recs[i] = BiRecord{Rec: r, Right: i%3 == 0} // uneven sides
+	}
+	// Local reference.
+	bi := local.NewBi(local.Naive, local.Options{Params: p})
+	want := make(map[record.Pair]bool)
+	for _, br := range recs {
+		br := br
+		emit := func(m local.Match) {
+			want[record.NewPair(br.Rec.ID, m.Rec.ID, 0)] = true
+		}
+		if br.Right {
+			bi.StepRight(br.Rec, emit)
+		} else {
+			bi.StepLeft(br.Rec, emit)
+		}
+	}
+	for _, k := range []int{1, 4} {
+		for _, strat := range strategies(p, base, k) {
+			res, err := RunBi(recs, Config{
+				Workers: k, Strategy: strat, Algorithm: local.Prefix,
+				Params: p, CollectPairs: true,
+			})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", strat.Name(), k, err)
+			}
+			got := make(map[record.Pair]bool)
+			for _, pr := range res.Pairs {
+				key := record.Pair{First: pr.First, Second: pr.Second}
+				if got[key] {
+					t.Fatalf("%s k=%d: duplicate %v", strat.Name(), k, key)
+				}
+				got[key] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d: got %d pairs want %d", strat.Name(), k, len(got), len(want))
+			}
+			for pr := range want {
+				if !got[pr] {
+					t.Fatalf("%s k=%d: missing %v", strat.Name(), k, pr)
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no cross-side pairs")
+	}
+}

@@ -1,0 +1,62 @@
+// Package window defines the sliding-window policies that bound how far
+// back in the stream an incoming record may find join partners. A policy is
+// a pure liveness predicate; the index drives eviction with it.
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// Policy decides whether a stored record is still joinable when the stream
+// has advanced to (nowSeq, nowTime). nowSeq is the arrival sequence number
+// of the record currently being processed; nowTime its event time.
+// Implementations must be monotone: once a record dies it stays dead as the
+// stream advances.
+type Policy interface {
+	Live(recSeq record.ID, recTime int64, nowSeq record.ID, nowTime int64) bool
+	String() string
+}
+
+// Count keeps the most recent N records: a stored record is live while
+// fewer than N records arrived after it.
+type Count struct{ N int64 }
+
+// Live implements Policy.
+func (c Count) Live(recSeq record.ID, _ int64, nowSeq record.ID, _ int64) bool {
+	return int64(nowSeq)-int64(recSeq) <= c.N
+}
+
+// String implements fmt.Stringer.
+func (c Count) String() string { return fmt.Sprintf("count(%d)", c.N) }
+
+// Time keeps records whose event time is within Span ticks of the current
+// record's event time.
+type Time struct{ Span int64 }
+
+// Live implements Policy.
+func (t Time) Live(_ record.ID, recTime int64, _ record.ID, nowTime int64) bool {
+	return nowTime-recTime <= t.Span
+}
+
+// String implements fmt.Stringer.
+func (t Time) String() string { return fmt.Sprintf("time(%d)", t.Span) }
+
+// Unbounded never evicts; useful for finite experiment datasets and for
+// validating streaming output against offline joins.
+type Unbounded struct{}
+
+// Live implements Policy.
+func (Unbounded) Live(record.ID, int64, record.ID, int64) bool { return true }
+
+// String implements fmt.Stringer.
+func (Unbounded) String() string { return "unbounded" }
+
+// The interface uses record.ID for sequence parameters; the compiler check
+// below keeps all three policies honest.
+var (
+	_ Policy = Count{}
+	_ Policy = Time{}
+	_ Policy = Unbounded{}
+)

@@ -1,0 +1,66 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestCountWindow(t *testing.T) {
+	w := Count{N: 3}
+	// Record with seq 10; stream at seq 13 → exactly 3 later arrivals → live.
+	if !w.Live(10, 0, 13, 0) {
+		t.Fatal("seq distance 3 should be live for N=3")
+	}
+	if w.Live(10, 0, 14, 0) {
+		t.Fatal("seq distance 4 should be dead for N=3")
+	}
+	if !w.Live(10, 0, 10, 0) {
+		t.Fatal("record is live at its own arrival")
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	w := Time{Span: 100}
+	if !w.Live(0, 50, 0, 150) {
+		t.Fatal("age 100 should be live for span 100")
+	}
+	if w.Live(0, 50, 0, 151) {
+		t.Fatal("age 101 should be dead for span 100")
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	w := Unbounded{}
+	if !w.Live(0, 0, 1<<40, 1<<40) {
+		t.Fatal("unbounded must never evict")
+	}
+}
+
+func TestPoliciesAreMonotone(t *testing.T) {
+	policies := []Policy{Count{N: 5}, Time{Span: 7}, Unbounded{}}
+	for _, p := range policies {
+		dead := false
+		for now := int64(0); now < 50; now++ {
+			live := p.Live(record.ID(0), 0, record.ID(now), now)
+			if dead && live {
+				t.Fatalf("%v: record resurrected at now=%d", p, now)
+			}
+			if !live {
+				dead = true
+			}
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if (Count{N: 4}).String() != "count(4)" {
+		t.Fatal("count string")
+	}
+	if (Time{Span: 9}).String() != "time(9)" {
+		t.Fatal("time string")
+	}
+	if (Unbounded{}).String() != "unbounded" {
+		t.Fatal("unbounded string")
+	}
+}

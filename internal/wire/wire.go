@@ -1,0 +1,467 @@
+// Package wire defines the binary protocol between the join coordinator
+// and remote workers: length-delimited frames with a one-byte type,
+// varint-encoded payloads, and delta-encoded token sets (tokens are sorted
+// ascending, so gaps are small and compress well).
+//
+// Frame layout:
+//
+//	[type: 1 byte][payload length: uvarint][payload]
+//
+// The protocol is strictly request/response-free: the coordinator streams
+// Hello, Record... , EOF; the worker streams Result..., Stats, and closes.
+// Both sides therefore run one reader and one writer goroutine with no
+// locking.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/record"
+	"repro/internal/tokens"
+)
+
+// Frame types.
+const (
+	TypeHello byte = iota + 1
+	TypeRecord
+	TypeResult
+	TypeEOF
+	TypeStats
+	// TypeSnapshot carries an opaque checkpoint blob: coordinator→worker
+	// right after Hello to seed the window, or worker→coordinator after
+	// Stats when the coordinator ended the stream with TypeSnapshotReq.
+	TypeSnapshot
+	// TypeSnapshotReq replaces TypeEOF when the coordinator wants the
+	// worker's window state back.
+	TypeSnapshotReq
+)
+
+// Version is the protocol version carried in Hello; mismatches are
+// rejected at handshake.
+const Version = 1
+
+// MaxFrame bounds a frame payload; larger frames indicate corruption.
+const MaxFrame = 1 << 24
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Hello configures a worker for one join session.
+type Hello struct {
+	Version   int
+	Task      int // this worker's task index
+	Workers   int // total worker count
+	Func      int // similarity.Func
+	Threshold float64
+	Algorithm int // local.Algorithm
+	// Window: 0 unbounded, 1 count, 2 time; N is the size/span.
+	WindowKind int
+	WindowN    int64
+	// Strategy: 0 length, 1 prefix, 2 broadcast. Bounds carries the
+	// length partition for strategy 0.
+	Strategy int
+	Bounds   []int
+	// Bundle config.
+	GroupThreshold float64
+	MaxMembers     int
+	OneByOne       bool
+	// Bi marks a two-stream session: records carry a side flag and match
+	// only across sides.
+	Bi bool
+}
+
+// Record is a routed record copy with its storage role and, for
+// two-stream sessions, its side.
+type Record struct {
+	Store bool
+	Right bool
+	Rec   *record.Record
+}
+
+// Result is one verified pair.
+type Result struct {
+	A, B record.ID
+	Sim  float64
+}
+
+// Stats carries a worker's final work counters back to the coordinator.
+type Stats struct {
+	Probes, Stored, Scanned, Candidates, Verified, Results, VerifySteps, Postings uint64
+}
+
+// Writer frames and buffers outbound messages. Not safe for concurrent
+// use.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+func (w *Writer) putUvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *Writer) putVarint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *Writer) putFloat(f float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *Writer) flushFrame(typ byte) error {
+	if len(w.buf) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	if err := w.w.WriteByte(typ); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(w.tmp[:], uint64(len(w.buf)))
+	if _, err := w.w.Write(w.tmp[:n]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// WriteHello sends the session handshake.
+func (w *Writer) WriteHello(h Hello) error {
+	w.putUvarint(uint64(h.Version))
+	w.putUvarint(uint64(h.Task))
+	w.putUvarint(uint64(h.Workers))
+	w.putUvarint(uint64(h.Func))
+	w.putFloat(h.Threshold)
+	w.putUvarint(uint64(h.Algorithm))
+	w.putUvarint(uint64(h.WindowKind))
+	w.putVarint(h.WindowN)
+	w.putUvarint(uint64(h.Strategy))
+	w.putUvarint(uint64(len(h.Bounds)))
+	for _, b := range h.Bounds {
+		w.putUvarint(uint64(b))
+	}
+	w.putFloat(h.GroupThreshold)
+	w.putUvarint(uint64(h.MaxMembers))
+	var flags byte
+	if h.OneByOne {
+		flags |= 1
+	}
+	if h.Bi {
+		flags |= 2
+	}
+	w.buf = append(w.buf, flags)
+	return w.flushFrame(TypeHello)
+}
+
+// WriteRecord sends one routed record copy. Tokens must be sorted
+// ascending (they are delta-encoded).
+func (w *Writer) WriteRecord(store bool, r *record.Record) error {
+	return w.WriteRecordSide(store, false, r)
+}
+
+// WriteRecordSide is WriteRecord with the two-stream side flag.
+func (w *Writer) WriteRecordSide(store, right bool, r *record.Record) error {
+	var flags byte
+	if store {
+		flags |= 1
+	}
+	if right {
+		flags |= 2
+	}
+	w.buf = append(w.buf, flags)
+	w.putUvarint(uint64(r.ID))
+	w.putVarint(r.Time)
+	w.putUvarint(uint64(len(r.Tokens)))
+	prev := uint64(0)
+	for _, t := range r.Tokens {
+		w.putUvarint(uint64(t) - prev)
+		prev = uint64(t)
+	}
+	return w.flushFrame(TypeRecord)
+}
+
+// WriteResult sends one verified pair.
+func (w *Writer) WriteResult(res Result) error {
+	w.putUvarint(uint64(res.A))
+	w.putUvarint(uint64(res.B))
+	w.putFloat(res.Sim)
+	return w.flushFrame(TypeResult)
+}
+
+// WriteEOF signals end of stream.
+func (w *Writer) WriteEOF() error {
+	if err := w.flushFrame(TypeEOF); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteStats sends the worker's final counters.
+func (w *Writer) WriteStats(s Stats) error {
+	for _, v := range []uint64{s.Probes, s.Stored, s.Scanned, s.Candidates,
+		s.Verified, s.Results, s.VerifySteps, s.Postings} {
+		w.putUvarint(v)
+	}
+	if err := w.flushFrame(TypeStats); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteSnapshot sends an opaque checkpoint blob.
+func (w *Writer) WriteSnapshot(blob []byte) error {
+	w.buf = append(w.buf, blob...)
+	if err := w.flushFrame(TypeSnapshot); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteSnapshotReq ends the record stream like WriteEOF but asks the
+// worker to append its window snapshot after the stats frame.
+func (w *Writer) WriteSnapshotReq() error {
+	if err := w.flushFrame(TypeSnapshotReq); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Flush drains the buffered writer to the connection.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader parses inbound frames. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads the next frame, returning its type and leaving the payload
+// staged for the matching Read* call. io.EOF is returned at a clean
+// connection end.
+func (r *Reader) Next() (byte, error) {
+	typ, err := r.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, frameErr(err)
+	}
+	if n > MaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return 0, frameErr(err)
+	}
+	return typ, nil
+}
+
+// frameErr converts an EOF mid-frame into ErrUnexpectedEOF so that callers
+// can distinguish clean stream end (io.EOF from Next's first byte) from a
+// truncated frame.
+func frameErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+type payload struct {
+	b []byte
+	i int
+}
+
+func (p *payload) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.i:])
+	if n <= 0 {
+		return 0, errors.New("wire: truncated uvarint")
+	}
+	p.i += n
+	return v, nil
+}
+
+func (p *payload) varint() (int64, error) {
+	v, n := binary.Varint(p.b[p.i:])
+	if n <= 0 {
+		return 0, errors.New("wire: truncated varint")
+	}
+	p.i += n
+	return v, nil
+}
+
+func (p *payload) float() (float64, error) {
+	if p.i+8 > len(p.b) {
+		return 0, errors.New("wire: truncated float")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.b[p.i:]))
+	p.i += 8
+	return v, nil
+}
+
+func (p *payload) byte() (byte, error) {
+	if p.i >= len(p.b) {
+		return 0, errors.New("wire: truncated byte")
+	}
+	b := p.b[p.i]
+	p.i++
+	return b, nil
+}
+
+// ReadHello decodes a staged Hello frame.
+func (r *Reader) ReadHello() (Hello, error) {
+	p := payload{b: r.buf}
+	var h Hello
+	var err error
+	get := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = p.uvarint()
+		return v
+	}
+	h.Version = int(get())
+	h.Task = int(get())
+	h.Workers = int(get())
+	h.Func = int(get())
+	if err == nil {
+		h.Threshold, err = p.float()
+	}
+	h.Algorithm = int(get())
+	h.WindowKind = int(get())
+	if err == nil {
+		h.WindowN, err = p.varint()
+	}
+	h.Strategy = int(get())
+	nb := int(get())
+	if err != nil {
+		return h, err
+	}
+	if nb < 0 || nb > 1<<20 {
+		return h, fmt.Errorf("wire: absurd bounds count %d", nb)
+	}
+	h.Bounds = make([]int, nb)
+	for i := range h.Bounds {
+		h.Bounds[i] = int(get())
+	}
+	if err == nil {
+		h.GroupThreshold, err = p.float()
+	}
+	h.MaxMembers = int(get())
+	if err != nil {
+		return h, err
+	}
+	ob, err := p.byte()
+	if err != nil {
+		return h, err
+	}
+	h.OneByOne = ob&1 != 0
+	h.Bi = ob&2 != 0
+	if h.Version != Version {
+		return h, fmt.Errorf("wire: protocol version %d, want %d", h.Version, Version)
+	}
+	return h, nil
+}
+
+// ReadRecord decodes a staged Record frame.
+func (r *Reader) ReadRecord() (Record, error) {
+	p := payload{b: r.buf}
+	st, err := p.byte()
+	if err != nil {
+		return Record{}, err
+	}
+	id, err := p.uvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	t, err := p.varint()
+	if err != nil {
+		return Record{}, err
+	}
+	n, err := p.uvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	if n > MaxFrame {
+		return Record{}, fmt.Errorf("wire: absurd token count %d", n)
+	}
+	toks := make([]tokens.Rank, n)
+	prev := uint64(0)
+	for i := range toks {
+		d, err := p.uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		prev += d
+		if prev > math.MaxUint32 {
+			return Record{}, fmt.Errorf("wire: token overflows rank: %d", prev)
+		}
+		toks[i] = tokens.Rank(prev)
+	}
+	return Record{
+		Store: st&1 != 0,
+		Right: st&2 != 0,
+		Rec:   &record.Record{ID: record.ID(id), Time: t, Tokens: toks},
+	}, nil
+}
+
+// ReadResult decodes a staged Result frame.
+func (r *Reader) ReadResult() (Result, error) {
+	p := payload{b: r.buf}
+	a, err := p.uvarint()
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := p.uvarint()
+	if err != nil {
+		return Result{}, err
+	}
+	sim, err := p.float()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{A: record.ID(a), B: record.ID(b), Sim: sim}, nil
+}
+
+// ReadSnapshot returns a copy of a staged Snapshot frame's blob.
+func (r *Reader) ReadSnapshot() []byte {
+	return append([]byte(nil), r.buf...)
+}
+
+// ReadStats decodes a staged Stats frame.
+func (r *Reader) ReadStats() (Stats, error) {
+	p := payload{b: r.buf}
+	var s Stats
+	for _, dst := range []*uint64{&s.Probes, &s.Stored, &s.Scanned, &s.Candidates,
+		&s.Verified, &s.Results, &s.VerifySteps, &s.Postings} {
+		v, err := p.uvarint()
+		if err != nil {
+			return s, err
+		}
+		*dst = v
+	}
+	return s, nil
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/tokens"
+)
+
+// Save writes records in the plain text exchange format: one record per
+// line, space-separated token ranks in ascending order. Record IDs and
+// times are positional (line number), matching how Load reassigns them.
+func Save(w io.Writer, recs []*record.Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		for i, t := range r.Tokens {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(t), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads records saved by Save, assigning sequential IDs and times in
+// line order. Blank lines are skipped; malformed tokens are an error.
+func Load(r io.Reader) ([]*record.Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []*record.Record
+	var id record.ID
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		set := make([]tokens.Rank, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad token %q: %w", line, f, err)
+			}
+			set = append(set, tokens.Rank(v))
+		}
+		out = append(out, &record.Record{ID: id, Time: int64(id), Tokens: tokens.Dedup(set)})
+		id++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: scan: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/similarity"
+)
+
+func TestGeneratorIsReproducible(t *testing.T) {
+	a := NewGenerator(UniformSmall(42)).Generate(100)
+	b := NewGenerator(UniformSmall(42)).Generate(100)
+	for i := range a {
+		if a[i].ID != b[i].ID || len(a[i].Tokens) != len(b[i].Tokens) {
+			t.Fatalf("streams diverge at %d", i)
+		}
+		for j := range a[i].Tokens {
+			if a[i].Tokens[j] != b[i].Tokens[j] {
+				t.Fatalf("streams diverge at record %d token %d", i, j)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := NewGenerator(UniformSmall(1)).Generate(50)
+	b := NewGenerator(UniformSmall(2)).Generate(50)
+	same := 0
+	for i := range a {
+		if len(a[i].Tokens) == len(b[i].Tokens) {
+			eq := true
+			for j := range a[i].Tokens {
+				if a[i].Tokens[j] != b[i].Tokens[j] {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				same++
+			}
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRecordsAreValidSets(t *testing.T) {
+	for _, p := range Profiles(7) {
+		g := NewGenerator(p)
+		for i := 0; i < 200; i++ {
+			r := g.Next()
+			if r.Len() == 0 {
+				t.Fatalf("%s: empty record", p.Name)
+			}
+			if !sort.SliceIsSorted(r.Tokens, func(a, b int) bool { return r.Tokens[a] < r.Tokens[b] }) {
+				t.Fatalf("%s: unsorted tokens %v", p.Name, r.Tokens)
+			}
+			for j := 1; j < r.Len(); j++ {
+				if r.Tokens[j] == r.Tokens[j-1] {
+					t.Fatalf("%s: duplicate token", p.Name)
+				}
+			}
+			if int(r.ID) != i {
+				t.Fatalf("%s: id %d at position %d", p.Name, r.ID, i)
+			}
+		}
+	}
+}
+
+func TestProfileLengthShapes(t *testing.T) {
+	// AOL-like records must be much shorter than ENRON-like on average.
+	mean := func(p Profile) float64 {
+		g := NewGenerator(p)
+		var sum int
+		const n = 2000
+		for i := 0; i < n; i++ {
+			sum += g.Next().Len()
+		}
+		return float64(sum) / n
+	}
+	aol, enron := mean(AOLLike(3)), mean(EnronLike(3))
+	if aol > 8 {
+		t.Fatalf("AOL-like mean length too big: %v", aol)
+	}
+	if enron < 30 {
+		t.Fatalf("ENRON-like mean length too small: %v", enron)
+	}
+	if enron < 5*aol {
+		t.Fatalf("profiles not distinct enough: aol=%v enron=%v", aol, enron)
+	}
+}
+
+func TestDupRateProducesSimilarPairs(t *testing.T) {
+	// A duplicate-heavy profile must yield many high-similarity pairs; a
+	// zero-dup profile on a large vocabulary must yield almost none.
+	count := func(p Profile) int {
+		g := NewGenerator(p)
+		recs := g.Generate(300)
+		n := 0
+		for i := range recs {
+			for j := 0; j < i; j++ {
+				if similarity.Of(similarity.Jaccard, recs[i].Tokens, recs[j].Tokens) >= 0.8 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	dup := UniformSmall(5)
+	dup.DupRate = 0.5
+	dup.DupMutate = 0.05
+	noDup := UniformSmall(5)
+	noDup.DupRate = 0
+	noDup.Vocab = 1_000_000
+	a, b := count(dup), count(noDup)
+	if a < 50 {
+		t.Fatalf("dup-heavy stream has too few similar pairs: %d", a)
+	}
+	if b > a/10 {
+		t.Fatalf("no-dup stream too similar: dup=%d nodup=%d", a, b)
+	}
+}
+
+func TestZipfSkewShowsInRanks(t *testing.T) {
+	// High ranks (frequent tokens) must appear far more often than low
+	// ranks across a sample.
+	p := UniformSmall(11)
+	g := NewGenerator(p)
+	freq := make(map[uint32]int)
+	for i := 0; i < 2000; i++ {
+		for _, tok := range g.Next().Tokens {
+			freq[tok]++
+		}
+	}
+	var topCount, bottomCount int
+	for tok, c := range freq {
+		if int(tok) >= p.Vocab-10 {
+			topCount += c
+		}
+		if int(tok) < p.Vocab/2 {
+			bottomCount += c
+		}
+	}
+	if topCount < bottomCount {
+		t.Fatalf("skew missing: top10=%d bottomHalf=%d", topCount, bottomCount)
+	}
+}
+
+func TestLengthHistogram(t *testing.T) {
+	h := LengthHistogram(UniformSmall(13), 500)
+	if h.Total() != 500 {
+		t.Fatalf("total: %d", h.Total())
+	}
+	if h.MaxLen() == 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"aol", "tweet", "enron", "uniform", "AOL-like"} {
+		if _, err := ProfileByName(name, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ProfileByName("nope", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGeneratorPanicsOnBadProfile(t *testing.T) {
+	bad := []Profile{
+		{Vocab: 1, ZipfS: 1.2, Lengths: Uniform{Min: 1, Max: 2}},
+		{Vocab: 100, ZipfS: 1.0, Lengths: Uniform{Min: 1, Max: 2}},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewGenerator(p)
+		}()
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	recs := NewGenerator(UniformSmall(17)).Generate(120)
+	var buf bytes.Buffer
+	if err := Save(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("count: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].ID != recs[i].ID {
+			t.Fatalf("id mismatch at %d", i)
+		}
+		if len(got[i].Tokens) != len(recs[i].Tokens) {
+			t.Fatalf("len mismatch at %d", i)
+		}
+		for j := range recs[i].Tokens {
+			if got[i].Tokens[j] != recs[i].Tokens[j] {
+				t.Fatalf("token mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadSkipsBlankAndRejectsGarbage(t *testing.T) {
+	got, err := Load(strings.NewReader("1 2 3\n\n4 5\n"))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("load: %v %d", err, len(got))
+	}
+	if _, err := Load(strings.NewReader("1 x 3\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestLengthDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{Min: 5, Max: 9}
+	for i := 0; i < 100; i++ {
+		l := u.Sample(rng)
+		if l < 5 || l > 9 {
+			t.Fatalf("uniform out of range: %d", l)
+		}
+	}
+	if (Uniform{Min: 4, Max: 4}).Sample(rng) != 4 {
+		t.Fatal("degenerate uniform")
+	}
+	ln := Lognormal{Mu: 2, Sigma: 0.5, Min: 1, Max: 50}
+	var sum float64
+	for i := 0; i < 2000; i++ {
+		l := ln.Sample(rng)
+		if l < 1 || l > 50 {
+			t.Fatalf("lognormal out of range: %d", l)
+		}
+		sum += float64(l)
+	}
+	mean := sum / 2000
+	// E[lognormal(2, .5)] ≈ exp(2.125) ≈ 8.4
+	if math.Abs(mean-8.4) > 2.5 {
+		t.Fatalf("lognormal mean off: %v", mean)
+	}
+	if u.String() == "" || ln.String() == "" {
+		t.Fatal("empty dist strings")
+	}
+}

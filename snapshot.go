@@ -1,0 +1,39 @@
+package ssjoin
+
+import (
+	"io"
+
+	"repro/internal/checkpoint"
+	"repro/internal/record"
+)
+
+// WriteSnapshot persists the stream's window state (the records still
+// joinable) and its ID/time cursor to w. Restore with RestoreStream using
+// the same Config; snapshots are logical, so they remain readable across
+// library versions that change index internals.
+func (s *Stream) WriteSnapshot(w io.Writer) error {
+	return checkpoint.Write(w, checkpoint.Cursor{
+		NextID:   uint64(s.nextID),
+		NextTime: s.tick,
+	}, s.joiner)
+}
+
+// RestoreStream reconstructs a Stream from a snapshot produced by
+// WriteSnapshot. cfg must match the snapshotting stream's configuration:
+// the snapshot carries records, not parameters, so joining semantics come
+// entirely from cfg. The restored stream continues ID assignment where the
+// original left off.
+func RestoreStream(r io.Reader, cfg Config) (*Stream, error) {
+	s, err := NewStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cur, n, err := checkpoint.Read(r, s.joiner)
+	if err != nil {
+		return nil, err
+	}
+	s.nextID = record.ID(cur.NextID)
+	s.tick = cur.NextTime
+	s.records = uint64(n)
+	return s, nil
+}

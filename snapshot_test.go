@@ -1,0 +1,129 @@
+package ssjoin
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cfg := Config{Threshold: 0.8, WindowRecords: 50}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := randomSets(120, 40, 3)
+	for _, set := range sets[:80] {
+		s.Add(set)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStream(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != s.Size() {
+		t.Fatalf("restored size %d, original %d", restored.Size(), s.Size())
+	}
+
+	// Both streams must behave identically from here.
+	for _, set := range sets[80:] {
+		idA, msA := s.Add(set)
+		gotA := append([]Match(nil), msA...)
+		idB, msB := restored.Add(set)
+		if idA != idB {
+			t.Fatalf("ID divergence: %d vs %d", idA, idB)
+		}
+		if len(gotA) != len(msB) {
+			t.Fatalf("match divergence at %d: %v vs %v", idA, gotA, msB)
+		}
+		seen := make(map[uint64]bool)
+		for _, m := range gotA {
+			seen[m.ID] = true
+		}
+		for _, m := range msB {
+			if !seen[m.ID] {
+				t.Fatalf("restored stream matched %d, original did not", m.ID)
+			}
+		}
+	}
+}
+
+func TestRestoreStreamRejectsBadInput(t *testing.T) {
+	if _, err := RestoreStream(bytes.NewReader([]byte("junk")), Config{Threshold: 0.8}); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := RestoreStream(bytes.NewReader(nil), Config{}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestTextStreamSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{Threshold: 0.7}
+	sample := []string{
+		"market rally continues strong",
+		"weather turns cold tonight",
+		"championship game ends in draw",
+	}
+	ts, err := NewTextStream(cfg, Words, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headlines := []string{
+		"market rally continues strong today",
+		"weather turns cold tonight everywhere",
+		"new unseen vocabulary appears here",
+	}
+	for _, h := range headlines {
+		ts.Add(h)
+	}
+
+	var buf bytes.Buffer
+	if err := ts.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreTextStream(bytes.NewReader(buf.Bytes()), cfg, Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != ts.Size() {
+		t.Fatalf("size: %d vs %d", restored.Size(), ts.Size())
+	}
+
+	// Both must match new text identically — including text using the
+	// "unseen vocabulary" that was interned after the ordering froze.
+	probes := []string{
+		"market rally continues strong today",
+		"new unseen vocabulary appears here",
+		"completely fresh words entirely",
+	}
+	for _, p := range probes {
+		idA, msA := ts.Add(p)
+		gotA := append([]Match(nil), msA...)
+		idB, msB := restored.Add(p)
+		if idA != idB || len(gotA) != len(msB) {
+			t.Fatalf("divergence on %q: (%d,%v) vs (%d,%v)", p, idA, gotA, idB, msB)
+		}
+		for i := range gotA {
+			if gotA[i] != msB[i] {
+				t.Fatalf("match %d differs on %q: %+v vs %+v", i, p, gotA[i], msB[i])
+			}
+		}
+	}
+}
+
+func TestRestoreTextStreamRejectsBadInput(t *testing.T) {
+	if _, err := RestoreTextStream(bytes.NewReader([]byte("nope")), Config{Threshold: 0.8}, Words); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	ts, _ := NewTextStream(Config{Threshold: 0.8}, Words, nil)
+	var buf bytes.Buffer
+	if err := ts.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreTextStream(bytes.NewReader(buf.Bytes()), Config{Threshold: 0.8}, Tokenization(9)); err == nil {
+		t.Fatal("bad tokenization accepted")
+	}
+}
