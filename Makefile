@@ -1,14 +1,24 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench experiments fuzz clean
+.PHONY: all build lint test test-norace race cover bench experiments fuzz fuzz-smoke clean
 
-all: build test
+all: build lint test
 
 build:
 	go build ./...
 	go vet ./...
 
+# Repo-specific static analysis (docs/LINTING.md describes the analyzers).
+lint:
+	go run ./cmd/repolint ./...
+
+# The race detector is the default test path; the only race-sensitive test
+# (topology timing, see internal/topology/race_on_test.go) skips itself.
 test:
+	go test -race ./...
+
+# Opt-out for slow machines; CI and `make all` stay on the race path.
+test-norace:
 	go test ./...
 
 race:
@@ -31,6 +41,14 @@ fuzz:
 	go test -fuzz FuzzWordTokenizer -fuzztime 10s ./internal/tokens/
 	go test -fuzz FuzzQGramTokenizer -fuzztime 10s ./internal/tokens/
 	go test -fuzz FuzzJoinMatchesBruteForce -fuzztime 15s ./internal/offline/
+
+# ~10s fuzz sanity pass for CI.
+fuzz-smoke:
+	go test -fuzz FuzzReaderNeverPanics -fuzztime 2s ./internal/wire/
+	go test -fuzz FuzzRecordRoundTrip -fuzztime 2s ./internal/wire/
+	go test -fuzz FuzzWordTokenizer -fuzztime 2s ./internal/tokens/
+	go test -fuzz FuzzQGramTokenizer -fuzztime 2s ./internal/tokens/
+	go test -fuzz FuzzJoinMatchesBruteForce -fuzztime 2s ./internal/offline/
 
 clean:
 	rm -rf internal/*/testdata/fuzz

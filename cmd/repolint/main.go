@@ -1,0 +1,211 @@
+// Command repolint runs the repo-specific static analysis suite
+// (internal/lint) over Go packages. It has two modes:
+//
+// Standalone, the `make lint` gate:
+//
+//	repolint ./...
+//	repolint -checks lockcheck,ctxcheck ./internal/remote
+//
+// Vet tool, speaking the cmd/go vet protocol so the suite can ride the
+// build cache:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/repolint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or internal error.
+// docs/LINTING.md describes every analyzer and the suppression syntax.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("repolint", flag.ExitOnError)
+	var (
+		version  = fs.String("V", "", "print version and exit (vet tool protocol)")
+		flagsOut = fs.Bool("flags", false, "print supported flags as JSON and exit (vet tool protocol)")
+		checks   = fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
+		dir      = fs.String("C", "", "change to dir before loading packages")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *version != "" {
+		// cmd/go hashes this line to identify the tool build.
+		fmt.Println("repolint version repro-v1")
+		return 0
+	}
+	if *flagsOut {
+		return printFlags(fs)
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetTool(rest[0], analyzers)
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		all = append(all, diags...)
+	}
+	return report(all, *jsonOut)
+}
+
+// printFlags emits the flag descriptions cmd/go requests before running a
+// vet tool, so it knows which vet flags the tool accepts.
+func printFlags(fs *flag.FlagSet) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	return 0
+}
+
+// report prints diagnostics and converts them to an exit status.
+func report(diags []lint.Diagnostic, jsonOut bool) int {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON cmd/go hands a vet tool for one package.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes one package described by a vet .cfg file: parse the
+// listed sources, type-check against the export data cmd/go already built,
+// run the suite, and write the (empty) facts file the protocol requires.
+func runVetTool(cfgPath string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("repolint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	filenames := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		filenames[i] = f
+	}
+	pkg, err := lint.TypecheckFiles(fset, cfg.ImportPath, filenames,
+		importer.ForCompiler(fset, "gc", lookup))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := lint.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2 // vet protocol: nonzero fails the go vet invocation
+	}
+	return 0
+}

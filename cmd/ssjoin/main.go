@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -183,10 +185,13 @@ func parsePart(s string) (ssjoin.Partitioner, error) {
 	return 0, fmt.Errorf("unknown partitioner %q", s)
 }
 
-// runRemote executes the join on external workers over TCP.
+// runRemote executes the join on external workers over TCP. Ctrl-C cancels
+// the run: dials abort and worker connections close.
 func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dist string, win int64, pairs bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	addrs := strings.Split(addrList, ",")
-	conns, err := remote.Dial(addrs, 5*time.Second)
+	conns, err := remote.Dial(ctx, addrs, 5*time.Second)
 	if err != nil {
 		return err
 	}
@@ -227,7 +232,7 @@ func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dis
 	for i, c := range conns {
 		rws[i] = c
 	}
-	sum, err := remote.Run(rws, sess, recs, pairs)
+	sum, err := remote.Run(ctx, rws, sess, recs, pairs)
 	if err != nil {
 		return err
 	}

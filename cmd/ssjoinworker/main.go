@@ -8,43 +8,72 @@
 // Each coordinator connection is one self-contained join session carrying
 // its own configuration, so a worker can serve many sessions concurrently
 // and needs no local configuration at all.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
+// sessions drain, and the monitor server (if any) shuts down cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/remote"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		listen   = flag.String("listen", ":7401", "TCP address to listen on")
 		httpAddr = flag.String("http", "", "optional HTTP address serving /healthz and /stats")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssjoinworker:", err)
-		os.Exit(1)
+		return 1
 	}
+
 	var mon remote.Monitor
+	monDone := make(chan struct{})
 	if *httpAddr != "" {
+		srv := &http.Server{Addr: *httpAddr, Handler: mon.Handler()}
 		go func() {
+			defer close(monDone)
 			log.Printf("ssjoinworker: monitoring on http://%s/stats", *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, mon.Handler()); err != nil {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("ssjoinworker: monitor server: %v", err)
 			}
 		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx) //nolint:errcheck
+			<-monDone
+		}()
+	} else {
+		close(monDone)
 	}
+
 	log.Printf("ssjoinworker: listening on %s", ln.Addr())
-	if err := remote.ServeWorkerMonitored(ln, log.Printf, &mon); err != nil {
+	if err := remote.ServeWorkerMonitored(ctx, ln, log.Printf, &mon); err != nil {
 		fmt.Fprintln(os.Stderr, "ssjoinworker:", err)
-		os.Exit(1)
+		return 1
 	}
+	log.Printf("ssjoinworker: shut down cleanly")
+	return 0
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -19,7 +20,7 @@ import (
 	"repro/internal/workload"
 )
 
-func startFleet(k int) ([]io.ReadWriter, func()) {
+func startFleet(ctx context.Context, k int) ([]io.ReadWriter, func()) {
 	var conns []io.ReadWriter
 	var closers []func()
 	for i := 0; i < k; i++ {
@@ -27,7 +28,7 @@ func startFleet(k int) ([]io.ReadWriter, func()) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		go remote.ServeWorker(ln, log.Printf) //nolint:errcheck
+		go remote.ServeWorker(ctx, ln, log.Printf) //nolint:errcheck
 		c, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
 			log.Fatal(err)
@@ -49,6 +50,7 @@ func main() {
 		n   = 30000
 		cut = 15000
 	)
+	ctx := context.Background()
 	recs := workload.NewGenerator(workload.AOLLike(7)).Generate(n)
 
 	params := filter.Params{Func: similarity.Jaccard, Threshold: tau}
@@ -65,8 +67,8 @@ func main() {
 
 	// Phase 1: first fleet processes half the stream, then hands back its
 	// window state.
-	fleet1, stop1 := startFleet(k)
-	sum1, err := remote.RunWithOpts(fleet1, sess, recs[:cut], remote.Opts{Snapshot: true})
+	fleet1, stop1 := startFleet(ctx, k)
+	sum1, err := remote.RunWithOpts(ctx, fleet1, sess, recs[:cut], remote.Opts{Snapshot: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,9 +81,9 @@ func main() {
 		sum1.Records, sum1.Results, float64(sum1.Records)/sum1.Elapsed.Seconds(), snapBytes)
 
 	// Phase 2: a brand-new fleet resumes from the snapshots.
-	fleet2, stop2 := startFleet(k)
+	fleet2, stop2 := startFleet(ctx, k)
 	defer stop2()
-	sum2, err := remote.RunWithOpts(fleet2, sess, recs[cut:], remote.Opts{Seed: sum1.Snapshots})
+	sum2, err := remote.RunWithOpts(ctx, fleet2, sess, recs[cut:], remote.Opts{Seed: sum1.Snapshots})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,9 +91,9 @@ func main() {
 		sum2.Records, sum2.Results, float64(sum2.Records)/sum2.Elapsed.Seconds())
 
 	// Cross-check: one uninterrupted fleet must find the same total.
-	fleet3, stop3 := startFleet(k)
+	fleet3, stop3 := startFleet(ctx, k)
 	defer stop3()
-	full, err := remote.Run(fleet3, sess, recs, false)
+	full, err := remote.Run(ctx, fleet3, sess, recs, false)
 	if err != nil {
 		log.Fatal(err)
 	}

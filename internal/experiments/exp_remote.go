@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -44,12 +45,13 @@ func E14(sc Scale) *Table {
 		Strategy:  "length",
 		Bounds:    partition.LoadAware(w, k).Bounds,
 	}
-	conns, cleanup, err := loopbackWorkers(k)
+	ctx := context.Background()
+	conns, cleanup, err := loopbackWorkers(ctx, k)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: loopback workers: %v", err))
 	}
 	defer cleanup()
-	sum, err := remote.Run(conns, sess, recs, false)
+	sum, err := remote.Run(ctx, conns, sess, recs, false)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: remote run: %v", err))
 	}
@@ -59,7 +61,7 @@ func E14(sc Scale) *Table {
 }
 
 // loopbackWorkers starts k TCP workers on 127.0.0.1 and dials them.
-func loopbackWorkers(k int) ([]io.ReadWriter, func(), error) {
+func loopbackWorkers(ctx context.Context, k int) ([]io.ReadWriter, func(), error) {
 	var (
 		conns     []io.ReadWriter
 		listeners []net.Listener
@@ -80,7 +82,7 @@ func loopbackWorkers(k int) ([]io.ReadWriter, func(), error) {
 			return nil, nil, err
 		}
 		listeners = append(listeners, ln)
-		go remote.ServeWorker(ln, func(string, ...interface{}) {}) //nolint:errcheck
+		go remote.ServeWorker(ctx, ln, func(string, ...interface{}) {}) //nolint:errcheck
 		c, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
 			cleanup()

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// wantRe matches fixture expectations: a trailing comment of the form
+//
+//	// want "regexp"
+//
+// on the line the analyzer must flag. Multiple diagnostics on one line use
+// repeated quoted patterns: // want "first" "second".
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var wantPatternRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one // want entry awaiting a matching diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// CheckFixture runs the analyzers over the fixture package in dir and
+// compares the diagnostics against the // want comments embedded in the
+// fixture sources. It returns one error per mismatch: a diagnostic no
+// // want expects, or a // want no diagnostic satisfied. This is the
+// stdlib stand-in for golang.org/x/tools/go/analysis/analysistest.
+func CheckFixture(dir string, analyzers []*Analyzer) []error {
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		return []error{err}
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		return []error{err}
+	}
+	expects, err := collectWants(pkg)
+	if err != nil {
+		return []error{err}
+	}
+
+	var errs []error
+	for _, d := range diags {
+		if !claim(expects, d) {
+			errs = append(errs, fmt.Errorf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			errs = append(errs, fmt.Errorf("%s:%d: no diagnostic matched %q", e.file, e.line, e.pattern))
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}
+
+// collectWants extracts the // want expectations from the fixture comments.
+func collectWants(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantPatternRe.FindAllString(m[1], -1) {
+					text, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %w", pos, q, err)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %w", pos, text, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// claim marks the first unmatched expectation satisfied by d.
+func claim(expects []*expectation, d Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.line != d.Pos.Line || !sameFile(e.file, d.Pos.Filename) {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// sameFile compares paths by basename so absolute and relative spellings
+// of the same fixture file agree.
+func sameFile(a, b string) bool {
+	return a == b || baseName(a) == baseName(b)
+}
+
+func baseName(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

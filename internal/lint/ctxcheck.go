@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxCheck enforces the cancellation contract of the RPC layer:
+//
+//   - No struct may store a context.Context in a field, in any package.
+//     Contexts are call-scoped; a stored context outlives its cancel
+//     semantics (the rule go vet's "containedctx"-style checks encode).
+//   - In a package named "remote", every exported function or method whose
+//     name marks it as a blocking RPC entry point (prefixes Run, Serve,
+//     Dial, Handle) must accept a context.Context as its first parameter,
+//     so callers can cancel network work.
+//   - A function that already has a context.Context parameter must not
+//     synthesize a fresh root with context.Background or context.TODO —
+//     that silently detaches the callee from the caller's cancellation.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "RPC entry points take a ctx first; no ctx in structs; no Background under a live ctx",
+	Run:  runCtxCheck,
+}
+
+// entryPointPrefixes mark blocking RPC operations in package remote.
+var entryPointPrefixes = []string{"Run", "Serve", "Dial", "Handle"}
+
+func runCtxCheck(pass *Pass) error {
+	checkCtxFields(pass)
+	if pass.Pkg.Name() == "remote" {
+		checkEntryPoints(pass)
+	}
+	checkDetachedContexts(pass)
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				t, ok := pass.Info.Types[field.Type]
+				if !ok || !isContextType(t.Type) {
+					continue
+				}
+				pass.Reportf(field.Pos(),
+					"context.Context stored in a struct field: pass it as a parameter instead")
+			}
+			return true
+		})
+	}
+}
+
+// checkEntryPoints requires ctx-first signatures on exported RPC entry
+// points.
+func checkEntryPoints(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || !hasEntryPointName(fd.Name.Name) {
+				continue
+			}
+			params := fd.Type.Params
+			if params != nil && len(params.List) > 0 {
+				if t, ok := pass.Info.Types[params.List[0].Type]; ok && isContextType(t.Type) {
+					continue
+				}
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"RPC entry point %s must take a context.Context as its first parameter", fd.Name.Name)
+		}
+	}
+}
+
+func hasEntryPointName(name string) bool {
+	for _, p := range entryPointPrefixes {
+		if !strings.HasPrefix(name, p) {
+			continue
+		}
+		// The prefix must end on a word boundary: Handle and HandleSession
+		// are entry points, Handler is a noun (likewise Runner, Dialer).
+		rest := name[len(p):]
+		if rest == "" || rest[0] >= 'A' && rest[0] <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDetachedContexts flags context.Background/TODO calls inside
+// functions that already receive a context.
+func checkDetachedContexts(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcTakesContext(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					pass.Reportf(call.Pos(),
+						"context.%s inside a function that receives a ctx: propagate the caller's context",
+						fn.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcTakesContext reports whether fd has a context.Context parameter.
+func funcTakesContext(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t, ok := pass.Info.Types[field.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetCheck keeps the deterministic paths deterministic. The experiment
+// tables (EXPERIMENTS.md) are diffed across runs and machines, so the
+// packages that compute them — internal/offline, internal/experiments,
+// internal/partition — must not consult nondeterministic global state:
+//
+//   - No calls to math/rand package-level functions (Int, Intn, Float64,
+//     Shuffle, Perm, Seed, ...), which draw from the globally seeded
+//     source. Explicitly seeded generators via rand.New(rand.NewSource(s))
+//     are fine and are the required idiom.
+//   - time.Now may be used only to measure elapsed wall time: its result
+//     must be assigned to a variable that the same function later passes
+//     to time.Since. Any other use (timestamps in table data, seeds,
+//     time-dependent branching) is flagged.
+var DetCheck = &Analyzer{
+	Name: "detcheck",
+	Doc:  "no global math/rand or free time.Now in deterministic experiment paths",
+	Run:  runDetCheck,
+}
+
+// detScopeNames are the package names the check applies to.
+var detScopeNames = map[string]bool{
+	"offline":     true,
+	"experiments": true,
+	"partition":   true,
+}
+
+func runDetCheck(pass *Pass) error {
+	if !detScopeNames[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeterminism(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkDeterminism flags global rand use anywhere in fd and time.Now calls
+// that do not feed a time.Since measurement.
+func checkDeterminism(pass *Pass, fd *ast.FuncDecl) {
+	// Pass 1: variables passed to time.Since anywhere in the function.
+	sinced := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if !isTimePkgFunc(pass, call, "Since") {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				sinced[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag offending calls.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// start := time.Now() later consumed by time.Since(start) is the
+			// sanctioned elapsed-time idiom.
+			if len(x.Lhs) == 1 && len(x.Rhs) == 1 && isTimeNowCall(pass, x.Rhs[0]) {
+				if id, ok := x.Lhs[0].(*ast.Ident); ok {
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj != nil && sinced[obj] {
+						return false
+					}
+				}
+				pass.Reportf(x.Rhs[0].Pos(),
+					"time.Now result never reaches time.Since: deterministic paths may use wall time only for elapsed measurement")
+				return false
+			}
+		case *ast.CallExpr:
+			if isTimeNowCall(pass, x) {
+				pass.Reportf(x.Pos(),
+					"free-standing time.Now in a deterministic path: assign it and measure with time.Since, or derive the value from the input")
+				return true
+			}
+			if fn := globalRandFunc(pass, x); fn != "" {
+				pass.Reportf(x.Pos(),
+					"math/rand global %s draws from shared nondeterministic state: use rand.New(rand.NewSource(seed))", fn)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// isTimeNowCall reports whether e is a call of time.Now.
+func isTimeNowCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isTimePkgFunc(pass, call, "Now")
+}
+
+// isTimePkgFunc reports whether call invokes the named function of package
+// time.
+func isTimePkgFunc(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "time" && fn.Name() == name
+}
+
+// randConstructors are the explicitly seeded math/rand entry points the
+// deterministic paths are allowed to call.
+var randConstructors = map[string]bool{"New": true, "NewSource": true}
+
+// globalRandFunc returns the name of the math/rand package-level function
+// a call invokes through the global source, or "".
+func globalRandFunc(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return ""
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "" // methods on a seeded *rand.Rand are deterministic
+	}
+	if randConstructors[fn.Name()] {
+		return ""
+	}
+	return fn.Name()
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineCheck bans fire-and-forget goroutines in the distribution
+// layer. In the scoped packages (internal/remote, internal/stream,
+// internal/topology, cmd/ssjoinworker), every `go` statement must be tied
+// to an observable lifecycle:
+//
+//   - the goroutine calls (*sync.WaitGroup).Done, usually deferred, so a
+//     collector can wg.Wait for it; or
+//   - the goroutine participates in a channel protocol — it sends or
+//     receives on a channel, ranges over one, or closes one — so its
+//     termination is coupled to channel close or a completion signal.
+//
+// A bare `go` whose body touches neither is invisible to shutdown: nothing
+// can wait for it, and the work it performs races process exit. Genuine
+// process-lifetime goroutines must carry //lint:ignore goroutinecheck with
+// a justification.
+var GoroutineCheck = &Analyzer{
+	Name: "goroutinecheck",
+	Doc:  "goroutines in the distribution layer need a WaitGroup or channel lifecycle",
+	Run:  runGoroutineCheck,
+}
+
+// goroutineScopes lists the package names and import-path suffixes the
+// check applies to.
+var goroutineScopes = struct {
+	names    map[string]bool
+	suffixes []string
+}{
+	names:    map[string]bool{"remote": true, "stream": true, "topology": true},
+	suffixes: []string{"cmd/ssjoinworker"},
+}
+
+func inGoroutineScope(pkg *types.Package) bool {
+	if goroutineScopes.names[pkg.Name()] {
+		return true
+	}
+	for _, s := range goroutineScopes.suffixes {
+		if strings.HasSuffix(pkg.Path(), s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroutineCheck(pass *Pass) error {
+	if !inGoroutineScope(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineHasLifecycle(pass, g) {
+				pass.Reportf(g.Pos(),
+					"fire-and-forget goroutine: tie it to a sync.WaitGroup or a channel close/completion signal")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineHasLifecycle inspects the spawned function for a WaitGroup.Done
+// call or any channel operation.
+func goroutineHasLifecycle(pass *Pass, g *ast.GoStmt) bool {
+	var body ast.Node
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		// `go f(...)`: inspect the call; without the callee body we accept
+		// only calls that receive a channel or WaitGroup argument, which at
+		// least proves the caller handed over a lifecycle handle.
+		for _, arg := range g.Call.Args {
+			if t, ok := pass.Info.Types[arg]; ok && carriesLifecycle(t.Type) {
+				return true
+			}
+		}
+		return false
+	}
+
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, x) || isChannelClose(pass, x) {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := pass.Info.Types[x.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupDone reports whether call is (*sync.WaitGroup).Done.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync" && fn.Name() == "Done"
+}
+
+// isChannelClose reports whether call is the builtin close on a channel.
+func isChannelClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// carriesLifecycle reports whether t is a channel or *sync.WaitGroup.
+func carriesLifecycle(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

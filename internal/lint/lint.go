@@ -1,0 +1,201 @@
+// Package lint is a repo-specific static analysis framework in the shape
+// of golang.org/x/tools/go/analysis, built on the standard library alone
+// (go/ast + go/types + export data) so the module stays dependency-free.
+// It exists because the distribution layer — internal/remote, the stream
+// runtime, the topology glue — encodes concurrency and protocol invariants
+// that comments cannot enforce; the analyzers in this package turn those
+// invariants into machine-checked build gates. docs/LINTING.md describes
+// each analyzer and its invariant.
+//
+// The model mirrors go/analysis: an Analyzer owns a Run function invoked
+// once per package with a Pass carrying the syntax trees and full type
+// information. Diagnostics can be suppressed per line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] reason
+//
+// placed on the offending line or the line directly above it; the reason
+// is mandatory so every suppression documents itself.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore comments.
+	Name string
+	// Doc is the one-paragraph invariant description shown by -help.
+	Doc string
+	// Run inspects the package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's worth of material to an Analyzer.
+type Pass struct {
+	// Analyzer is the check currently running.
+	Analyzer *Analyzer
+	// Fset maps token positions back to file/line.
+	Fset *token.FileSet
+	// Files are the parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info is the full type information for Files.
+	Info *types.Info
+
+	diags   *[]Diagnostic
+	ignores ignoreIndex
+}
+
+// Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Message states the violated invariant.
+	Message string
+}
+
+// String renders the diagnostic in the conventional vet format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an ignore comment covers it.
+// Test files are exempt wholesale: the standalone loader never sees them,
+// and when the suite runs under `go vet -vettool` (which does feed them)
+// the two modes must agree on what is checked.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if strings.HasSuffix(position.Filename, "_test.go") {
+		return
+	}
+	if p.ignores.covers(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreIndex records, per file and line, which analyzers are suppressed.
+type ignoreIndex map[string]map[int]map[string]bool
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+\S`)
+
+// buildIgnoreIndex scans all comments for //lint:ignore directives. A
+// directive covers its own line and the next one, so it works both as a
+// trailing comment and as a line of its own above the finding.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := lines[line]
+						if set == nil {
+							set = make(map[string]bool)
+							lines[line] = set
+						}
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) covers(pos token.Position, analyzer string) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[pos.Line]
+	return set[analyzer] || set["all"]
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+			ignores:  ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockCheck,
+		GoroutineCheck,
+		WireCheck,
+		CtxCheck,
+		DetCheck,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list; the empty string means
+// the full suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

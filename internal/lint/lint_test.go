@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAnalyzerFixtures runs every analyzer over its known-bad fixture and
+// checks the produced diagnostics against the // want comments: each
+// expected finding must fire, nothing extra may fire, and //lint:ignore
+// must suppress.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{LockCheck, "lockcheck"},
+		{GoroutineCheck, "goroutinecheck"},
+		{WireCheck, "wirecheck"},
+		{CtxCheck, "ctxcheck"},
+		{DetCheck, "detcheck"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			for _, err := range CheckFixture(filepath.Join("testdata", c.dir), []*Analyzer{c.analyzer}) {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestFixturesAreKnownBad guards the fixtures themselves: every fixture
+// must contain at least one // want expectation, so a fixture that rots
+// into all-clean fails loudly instead of testing nothing.
+func TestFixturesAreKnownBad(t *testing.T) {
+	dirs, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("expected a fixture dir per analyzer, found %d", len(dirs))
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		pkg, err := LoadDir(filepath.Join("testdata", d.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wants) == 0 {
+			t.Errorf("%s: fixture has no // want expectations", d.Name())
+		}
+	}
+}
+
+// TestByName checks suite lookup and the unknown-analyzer error.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("lockcheck, detcheck")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName pair = %d analyzers, err %v", len(two), err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
+// TestSuiteCleanOnRepo runs the full suite over the whole module — the
+// same gate `make lint` applies — and requires zero findings, so the tree
+// cannot drift from its own invariants between lint runs.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// LockCheck enforces mutex discipline declared in struct field comments: a
+// field annotated
+//
+//	// guarded by <mu>
+//
+// (where <mu> names a sync.Mutex or sync.RWMutex field of the same struct)
+// may only be read or written while that mutex is held in the enclosing
+// function. The analysis is intraprocedural and syntactic: Lock/RLock on
+// the field's mutex opens a critical section, Unlock/RUnlock closes it, and
+// a deferred Unlock keeps the section open to the end of the function.
+// Function literals are analyzed with an empty lock state, since they may
+// run on another goroutine. Helpers that rely on a caller-held lock must
+// either take the lock themselves or carry a //lint:ignore lockcheck
+// comment explaining the protocol.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "annotated struct fields must be accessed with their mutex held",
+	Run:  runLockCheck,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockState is the set of mutex field objects currently held.
+type lockState map[*types.Var]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// lockChecker carries the per-package state of one lockcheck run.
+type lockChecker struct {
+	pass *Pass
+	// guarded maps a protected field to the mutex field guarding it.
+	guarded map[*types.Var]*types.Var
+}
+
+func runLockCheck(pass *Pass) error {
+	c := &lockChecker{pass: pass, guarded: make(map[*types.Var]*types.Var)}
+	c.collectAnnotations()
+	if len(c.guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.stmt(fd.Body, make(lockState))
+		}
+	}
+	return nil
+}
+
+// collectAnnotations scans struct declarations for guarded-by comments and
+// resolves both ends to field objects.
+func (c *lockChecker) collectAnnotations() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				ann := fieldAnnotation(field)
+				if ann == "" {
+					continue
+				}
+				mu := findStructField(c.pass, st, ann)
+				if mu == nil {
+					c.pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a field of this struct", ann)
+					continue
+				}
+				if !isMutexType(mu.Type()) {
+					c.pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex", ann)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := c.pass.Info.Defs[name].(*types.Var); ok {
+						c.guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldAnnotation extracts the guarded-by target from a field's trailing or
+// doc comment.
+func fieldAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// findStructField resolves a field name within a struct literal type.
+func findStructField(pass *Pass, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				obj, _ := pass.Info.Defs[n].(*types.Var)
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// via pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// mutexCall classifies a call as Lock/RLock (+1), Unlock/RUnlock (-1) on a
+// mutex stored in a struct field, returning the mutex field object.
+func (c *lockChecker) mutexCall(call *ast.CallExpr) (*types.Var, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, 0
+	}
+	var dir int
+	switch fn.Name() {
+	case "Lock", "RLock":
+		dir = 1
+	case "Unlock", "RUnlock":
+		dir = -1
+	default:
+		return nil, 0
+	}
+	recv, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	fsel, ok := c.pass.Info.Selections[recv]
+	if !ok || fsel.Kind() != types.FieldVal {
+		return nil, 0
+	}
+	mu, ok := fsel.Obj().(*types.Var)
+	if !ok {
+		return nil, 0
+	}
+	return mu, dir
+}
+
+// stmt folds one statement into the lock state and returns the state after
+// it. Branch bodies are analyzed with a copy: a lock taken inside a branch
+// is conservatively considered released at the join.
+func (c *lockChecker) stmt(s ast.Stmt, st lockState) lockState {
+	switch n := s.(type) {
+	case nil:
+		return st
+	case *ast.BlockStmt:
+		inner := st
+		for _, sub := range n.List {
+			inner = c.stmt(sub, inner)
+		}
+		return inner
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if mu, dir := c.mutexCall(call); mu != nil {
+				if dir > 0 {
+					st[mu] = true
+				} else {
+					delete(st, mu)
+				}
+				return st
+			}
+		}
+		c.exprs(st, n.X)
+		return st
+	case *ast.DeferStmt:
+		if mu, dir := c.mutexCall(n.Call); mu != nil && dir < 0 {
+			// Deferred unlock: the section stays open to function end.
+			return st
+		}
+		c.exprs(st, n.Call)
+		return st
+	case *ast.IfStmt:
+		st = c.stmt(n.Init, st)
+		c.exprs(st, n.Cond)
+		c.stmt(n.Body, st.clone())
+		if n.Else != nil {
+			c.stmt(n.Else, st.clone())
+		}
+		return st
+	case *ast.ForStmt:
+		st = c.stmt(n.Init, st)
+		c.exprs(st, n.Cond)
+		body := c.stmt(n.Body, st.clone())
+		c.stmt(n.Post, body)
+		return st
+	case *ast.RangeStmt:
+		c.exprs(st, n.X)
+		c.stmt(n.Body, st.clone())
+		return st
+	case *ast.SwitchStmt:
+		st = c.stmt(n.Init, st)
+		c.exprs(st, n.Tag)
+		for _, cl := range n.Body.List {
+			cc := cl.(*ast.CaseClause)
+			c.exprs(st, cc.List...)
+			inner := st.clone()
+			for _, sub := range cc.Body {
+				inner = c.stmt(sub, inner)
+			}
+		}
+		return st
+	case *ast.TypeSwitchStmt:
+		st = c.stmt(n.Init, st)
+		c.stmt(n.Assign, st)
+		for _, cl := range n.Body.List {
+			cc := cl.(*ast.CaseClause)
+			inner := st.clone()
+			for _, sub := range cc.Body {
+				inner = c.stmt(sub, inner)
+			}
+		}
+		return st
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			cc := cl.(*ast.CommClause)
+			inner := st.clone()
+			inner = c.stmt(cc.Comm, inner)
+			for _, sub := range cc.Body {
+				inner = c.stmt(sub, inner)
+			}
+		}
+		return st
+	case *ast.LabeledStmt:
+		return c.stmt(n.Stmt, st)
+	case *ast.GoStmt:
+		c.exprs(st, n.Call)
+		return st
+	default:
+		// Leaf statements: check every contained expression.
+		ast.Inspect(s, func(sub ast.Node) bool {
+			if e, ok := sub.(ast.Expr); ok {
+				c.exprs(st, e)
+				return false
+			}
+			return true
+		})
+		return st
+	}
+}
+
+// exprs checks guarded-field accesses in the given expressions. Function
+// literals restart with an empty lock state; a nested mutexCall's receiver
+// selector is skipped so x.mu.Lock() does not read as an access of x.mu.
+func (c *lockChecker) exprs(st lockState, list ...ast.Expr) {
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				c.stmt(x.Body, make(lockState))
+				return false
+			case *ast.SelectorExpr:
+				fsel, ok := c.pass.Info.Selections[x]
+				if !ok || fsel.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := fsel.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, guarded := c.guarded[field]
+				if !guarded {
+					return true
+				}
+				if !st[mu] {
+					c.pass.Reportf(x.Sel.Pos(),
+						"field %s is guarded by %s but accessed without holding it",
+						field.Name(), mu.Name())
+				}
+			}
+			return true
+		})
+	}
+}

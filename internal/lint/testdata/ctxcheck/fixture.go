@@ -1,0 +1,57 @@
+// Package remote (fixture) exercises ctxcheck: ctx-first RPC entry
+// points, no contexts in structs, no detached roots under a live ctx.
+package remote
+
+import "context"
+
+// Run is a blocking entry point with the required ctx-first signature.
+func Run(ctx context.Context, n int) error { return work(ctx) }
+
+// HandleSession is ctx-first and compliant.
+func HandleSession(ctx context.Context) error { return work(ctx) }
+
+// RunLegacy misses the context parameter.
+func RunLegacy(n int) error { return nil } // want "RunLegacy must take a context.Context as its first parameter"
+
+// ServeWorker misses the context parameter.
+func ServeWorker() {} // want "ServeWorker must take a context.Context as its first parameter"
+
+// DialFleet takes arguments but no leading context.
+func DialFleet(addr string, retries int) error { return nil } // want "DialFleet must take a context.Context as its first parameter"
+
+type session struct {
+	ctx context.Context // want "context.Context stored in a struct field"
+	id  int
+}
+
+func (s *session) use() int { return s.id }
+
+func work(ctx context.Context) error {
+	detached := context.Background() // want "propagate the caller's context"
+	_ = detached
+	return ctx.Err()
+}
+
+func alsoTodo(ctx context.Context) error {
+	_ = context.TODO() // want "propagate the caller's context"
+	return ctx.Err()
+}
+
+// newRoot has no inbound ctx, so minting a root here is legitimate.
+func newRoot() context.Context {
+	return context.Background()
+}
+
+// Handler shares the Handle prefix but is a noun, not a blocking entry
+// point; the word-boundary rule keeps it exempt.
+func Handler() int { return 0 }
+
+// helper is unexported, so the entry-point rule does not apply even though
+// the name has a blocking prefix.
+func runQuietly() {}
+
+var _ = session{}
+var _ = (&session{}).use
+var _ = newRoot
+var _ = runQuietly
+var _ = Handler

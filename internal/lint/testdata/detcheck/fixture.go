@@ -1,0 +1,45 @@
+// Package experiments (fixture) exercises detcheck: reproducible
+// experiment paths must not consult global randomness or free wall-clock
+// time. The package is named experiments so the scoped analyzer applies.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+)
+
+func goodElapsedMeasurement() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func goodSeededGenerator(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func badGlobalIntn() int {
+	return rand.Intn(10) // want "math/rand global Intn"
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand global Shuffle"
+}
+
+func badTimestampInData() int64 {
+	return time.Now().UnixNano() // want "free-standing time.Now"
+}
+
+func badNowNeverMeasured() {
+	start := time.Now() // want "time.Now result never reaches time.Since"
+	_ = start
+	work()
+}
+
+func ignoredWallClock() int64 {
+	//lint:ignore detcheck cache-busting value is outside every table
+	return time.Now().Unix()
+}
+
+func work() {}

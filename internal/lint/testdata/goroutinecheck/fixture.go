@@ -1,0 +1,71 @@
+// Package remote (fixture) exercises goroutinecheck: goroutine lifecycle
+// discipline in the distribution layer. The package is named remote so the
+// scoped analyzer applies.
+package remote
+
+import "sync"
+
+func goodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func goodCompletionChannel() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	return ch
+}
+
+func goodDrainUntilClose(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+func goodSelectOnDone(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func badFireAndForget() {
+	go func() { // want "fire-and-forget goroutine"
+		work()
+	}()
+}
+
+func badBareCall() {
+	go work() // want "fire-and-forget goroutine"
+}
+
+func goodBareCallHandedLifecycle(done chan struct{}) {
+	go workUntil(done)
+}
+
+func goodBareCallHandedWaitGroup(wg *sync.WaitGroup) {
+	go workTracked(wg)
+}
+
+func ignoredProcessLifetime() {
+	//lint:ignore goroutinecheck process-lifetime stats loop, dies with the process
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}
+
+func workUntil(done chan struct{}) { <-done }
+
+func workTracked(wg *sync.WaitGroup) { defer wg.Done(); work() }

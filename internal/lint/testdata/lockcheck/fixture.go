@@ -1,0 +1,89 @@
+// Package lockfix exercises lockcheck: guarded-field accesses with and
+// without their mutex held.
+package lockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ok int
+}
+
+func (c *counter) goodInc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) goodDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) badBare() {
+	c.n++ // want "guarded by mu but accessed without holding it"
+}
+
+func (c *counter) badAfterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want "guarded by mu but accessed without holding it"
+}
+
+func (c *counter) badConditionalLock(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "guarded by mu but accessed without holding it"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) badClosureEscapesLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "guarded by mu but accessed without holding it"
+	}()
+}
+
+func (c *counter) unguardedFieldNeedsNoLock() {
+	c.ok++
+}
+
+func (c *counter) ignoredAccess() int {
+	//lint:ignore lockcheck read is fenced by wg.Wait in the caller
+	return c.n
+}
+
+type table struct {
+	rw sync.RWMutex
+	m  map[string]int // guarded by rw
+}
+
+func (t *table) goodRead(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) goodWrite(k string, v int) {
+	t.rw.Lock()
+	t.m[k] = v
+	t.rw.Unlock()
+}
+
+type brokenAnnotation struct {
+	x int // guarded by missing // want "not a field of this struct"
+}
+
+type notAMutex struct {
+	guard int
+	y     int // guarded by guard // want "not a sync.Mutex or sync.RWMutex"
+}
+
+func use(b *brokenAnnotation, n *notAMutex) int { return b.x + n.y + n.guard }

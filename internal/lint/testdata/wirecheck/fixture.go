@@ -1,0 +1,69 @@
+// Package wire (fixture) exercises wirecheck: encoder/decoder coverage of
+// the frame-type enum and default-or-exhaustive opcode switches. The
+// package is named wire so the enum rules apply.
+package wire
+
+// Frame types of the fixture protocol.
+const (
+	TypeHello byte = iota + 1
+	TypeData
+	// TypeEOF closes the stream; payload-free, nothing to decode.
+	TypeEOF
+	TypeOrphan // want "opcode TypeOrphan has no encoder" "opcode TypeOrphan has no decoder"
+)
+
+// Writer encodes frames.
+type Writer struct{}
+
+func (w *Writer) flushFrame(typ byte) error { return nil }
+
+// WriteHello encodes a TypeHello frame.
+func (w *Writer) WriteHello() error { return w.flushFrame(TypeHello) }
+
+// WriteData encodes a TypeData frame.
+func (w *Writer) WriteData() error { return w.flushFrame(TypeData) }
+
+// WriteEOF encodes a TypeEOF frame.
+func (w *Writer) WriteEOF() error { return w.flushFrame(TypeEOF) }
+
+// Reader decodes frames.
+type Reader struct{}
+
+// ReadHello decodes a TypeHello frame.
+func (r *Reader) ReadHello() error { return nil }
+
+// ReadData decodes a TypeData frame.
+func (r *Reader) ReadData() error { return nil }
+
+func goodSwitchWithDefault(typ byte) int {
+	switch typ {
+	case TypeHello:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func goodExhaustiveSwitch(typ byte) int {
+	switch typ {
+	case TypeHello, TypeData, TypeEOF, TypeOrphan:
+		return 1
+	}
+	return 0
+}
+
+func badPartialSwitch(typ byte) int {
+	switch typ { // want "misses wire.TypeData, wire.TypeEOF, wire.TypeOrphan"
+	case TypeHello:
+		return 1
+	}
+	return 0
+}
+
+func unrelatedSwitchIsFine(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

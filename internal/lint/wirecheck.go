@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireCheck keeps the frame protocol in internal/wire closed under
+// encode/decode and keeps every dispatcher honest about unknown opcodes:
+//
+//   - Inside a package named "wire", every frame-type constant (a package-
+//     level constant whose name starts with "Type") must reach the encoder
+//     (appear as the argument of a flushFrame call) and must be decodable:
+//     either the Reader declares a matching Read<Suffix> method, or the
+//     constant carries a "payload-free" comment marking frames with no
+//     body to decode.
+//   - In every package, a switch whose cases compare against wire frame-
+//     type constants must either list all of them or carry a default
+//     clause, so an unexpected opcode is handled explicitly instead of
+//     falling through silently.
+var WireCheck = &Analyzer{
+	Name: "wirecheck",
+	Doc:  "wire opcodes need encoder+decoder coverage; opcode switches need default or exhaustive cases",
+	Run:  runWireCheck,
+}
+
+func runWireCheck(pass *Pass) error {
+	if pass.Pkg.Name() == "wire" {
+		checkWireEnum(pass)
+	}
+	checkOpcodeSwitches(pass)
+	return nil
+}
+
+// wireTypeConst reports whether obj is a frame-type enum constant: a
+// package-level constant named Type* declared in a package named wire.
+func wireTypeConst(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Name() != "wire" {
+		return false
+	}
+	return strings.HasPrefix(c.Name(), "Type") && c.Parent() == c.Pkg().Scope()
+}
+
+// checkWireEnum verifies encoder and decoder coverage for every frame-type
+// constant declared in this package.
+func checkWireEnum(pass *Pass) {
+	type constDecl struct {
+		name        string
+		pos         ast.Node
+		payloadFree bool
+	}
+	var consts []constDecl
+
+	// Collect Type* constants and their payload-free markers.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				marker := commentContains(vs.Doc, "payload-free") ||
+					commentContains(vs.Comment, "payload-free")
+				for _, name := range vs.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil || !wireTypeConst(obj) {
+						continue
+					}
+					consts = append(consts, constDecl{name: name.Name, pos: name, payloadFree: marker})
+				}
+			}
+		}
+	}
+	if len(consts) == 0 {
+		return
+	}
+
+	// Collect encode sites (flushFrame arguments) and Read* methods.
+	encoded := make(map[string]bool)
+	readers := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv != nil && strings.HasPrefix(fd.Name.Name, "Read") {
+				readers[fd.Name.Name] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !calleeNamed(call, "flushFrame") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id := constIdent(pass, arg); id != "" {
+					encoded[id] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, c := range consts {
+		if !encoded[c.name] {
+			pass.Reportf(c.pos.Pos(),
+				"opcode %s has no encoder: no Writer method passes it to flushFrame", c.name)
+		}
+		suffix := strings.TrimPrefix(c.name, "Type")
+		if !c.payloadFree && !readers["Read"+suffix] {
+			pass.Reportf(c.pos.Pos(),
+				"opcode %s has no decoder: declare Read%s on Reader or mark the constant payload-free",
+				c.name, suffix)
+		}
+	}
+}
+
+// commentContains reports whether a comment group mentions the marker.
+func commentContains(cg *ast.CommentGroup, marker string) bool {
+	return cg != nil && strings.Contains(cg.Text(), marker)
+}
+
+// calleeNamed reports whether call invokes a plain or method identifier
+// with the given name.
+func calleeNamed(call *ast.CallExpr, name string) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == name
+	}
+	return false
+}
+
+// constIdent returns the name of the constant an expression resolves to.
+func constIdent(pass *Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		if _, ok := obj.(*types.Const); ok {
+			return obj.Name()
+		}
+	}
+	return ""
+}
+
+// checkOpcodeSwitches enforces default-or-exhaustive on switches over wire
+// frame types, in whatever package they appear.
+func checkOpcodeSwitches(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Body == nil {
+				return true
+			}
+			covered := make(map[string]bool)
+			var enumPkg *types.Package
+			hasDefault := false
+			usesWireEnum := false
+			for _, cl := range sw.Body.List {
+				cc := cl.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					obj := switchCaseObj(pass, e)
+					if obj != nil && wireTypeConst(obj) {
+						usesWireEnum = true
+						covered[obj.Name()] = true
+						enumPkg = obj.Pkg()
+					}
+				}
+			}
+			if !usesWireEnum || hasDefault {
+				return true
+			}
+			missing := missingEnumConsts(enumPkg, covered)
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch over wire frame types has no default and misses %s: handle them or add a default clause",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// switchCaseObj resolves a case expression to its constant object.
+func switchCaseObj(pass *Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// missingEnumConsts lists the wire frame-type constants of pkg absent from
+// covered, sorted by enum value.
+func missingEnumConsts(pkg *types.Package, covered map[string]bool) []string {
+	if pkg == nil {
+		return nil
+	}
+	type entry struct {
+		name string
+		val  uint64
+	}
+	var missing []entry
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !wireTypeConst(obj) || covered[name] {
+			continue
+		}
+		val, _ := constant.Uint64Val(constant.ToInt(obj.(*types.Const).Val()))
+		missing = append(missing, entry{name: name, val: val})
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].val < missing[j].val })
+	out := make([]string, len(missing))
+	for i, m := range missing {
+		out[i] = fmt.Sprintf("%s.%s", pkg.Name(), m.name)
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 	"time"
 )
 
@@ -107,6 +108,29 @@ func (l *Latency) Merge(other *Latency) {
 	if other.max > l.max {
 		l.max = other.max
 	}
+}
+
+// SyncLatency is a Latency histogram safe for concurrent observers: many
+// goroutines Observe, any goroutine Snapshots. The zero value is ready to
+// use.
+type SyncLatency struct {
+	mu   sync.Mutex
+	hist Latency // guarded by mu
+}
+
+// Observe records one duration.
+func (s *SyncLatency) Observe(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hist.Observe(d)
+}
+
+// Snapshot returns a point-in-time copy of the histogram, safe to query
+// without further locking.
+func (s *SyncLatency) Snapshot() Latency {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist
 }
 
 // Throughput summarizes a processed-count over elapsed wall time.

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 )
@@ -122,5 +123,33 @@ func TestSummarizeLoads(t *testing.T) {
 	s = SummarizeLoads([]float64{0, 0})
 	if s.Imbalance != 1 {
 		t.Fatalf("all-zero: %+v", s)
+	}
+}
+
+func TestSyncLatencyConcurrentObservers(t *testing.T) {
+	var s SyncLatency
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	hist := s.Snapshot()
+	if hist.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", hist.Count(), workers*perWorker)
+	}
+	if hist.Max() != time.Duration(workers*perWorker-1)*time.Microsecond {
+		t.Fatalf("max = %v", hist.Max())
+	}
+	// The snapshot is a copy: later observations must not leak into it.
+	s.Observe(time.Hour)
+	if hist.Max() == time.Hour {
+		t.Fatal("snapshot aliases live histogram")
 	}
 }

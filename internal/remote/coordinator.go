@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -55,11 +56,13 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Dial connects to every worker address.
-func Dial(addrs []string, timeout time.Duration) ([]net.Conn, error) {
+// Dial connects to every worker address. Cancelling ctx aborts in-flight
+// dials; timeout bounds each individual dial on top of that.
+func Dial(ctx context.Context, addrs []string, timeout time.Duration) ([]net.Conn, error) {
+	d := net.Dialer{Timeout: timeout}
 	conns := make([]net.Conn, 0, len(addrs))
 	for _, a := range addrs {
-		c, err := net.DialTimeout("tcp", a, timeout)
+		c, err := d.DialContext(ctx, "tcp", a)
 		if err != nil {
 			for _, done := range conns {
 				done.Close()
@@ -75,9 +78,10 @@ func Dial(addrs []string, timeout time.Duration) ([]net.Conn, error) {
 // handshakes every worker, routes each record per the session strategy
 // (sending the store flag to the record's home copy), signals EOF, and
 // collects results and final stats. Connections are left open; callers own
-// their lifecycle.
-func Run(conns []io.ReadWriter, sess Session, recs []*record.Record, collectPairs bool) (*RunSummary, error) {
-	return RunWithOpts(conns, sess, recs, Opts{CollectPairs: collectPairs})
+// their lifecycle. Cancelling ctx aborts the dispatch loop and closes any
+// closable connections to unblock the result readers.
+func Run(ctx context.Context, conns []io.ReadWriter, sess Session, recs []*record.Record, collectPairs bool) (*RunSummary, error) {
+	return RunWithOpts(ctx, conns, sess, recs, Opts{CollectPairs: collectPairs})
 }
 
 // BiRecord tags a record with its stream side for two-stream sessions.
@@ -88,18 +92,18 @@ type BiRecord struct {
 
 // RunBi executes a two-stream join session: records match only across
 // sides. The session must have Bi set; snapshot options are rejected.
-func RunBi(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts) (*RunSummary, error) {
+func RunBi(ctx context.Context, conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts) (*RunSummary, error) {
 	if !sess.Bi {
 		return nil, fmt.Errorf("remote: RunBi requires Session.Bi")
 	}
 	if opts.Snapshot || len(opts.Seed) > 0 {
 		return nil, fmt.Errorf("remote: snapshots unsupported for bi sessions")
 	}
-	return runSession(conns, sess, recs, opts)
+	return runSession(ctx, conns, sess, recs, opts)
 }
 
 // RunWithOpts is Run with snapshot seeding and collection.
-func RunWithOpts(conns []io.ReadWriter, sess Session, recs []*record.Record, opts Opts) (*RunSummary, error) {
+func RunWithOpts(ctx context.Context, conns []io.ReadWriter, sess Session, recs []*record.Record, opts Opts) (*RunSummary, error) {
 	if sess.Bi {
 		return nil, fmt.Errorf("remote: use RunBi for bi sessions")
 	}
@@ -107,14 +111,44 @@ func RunWithOpts(conns []io.ReadWriter, sess Session, recs []*record.Record, opt
 	for i, r := range recs {
 		birecs[i] = BiRecord{Rec: r}
 	}
-	return runSession(conns, sess, birecs, opts)
+	return runSession(ctx, conns, sess, birecs, opts)
 }
 
-func runSession(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts) (*RunSummary, error) {
-	collectPairs := opts.CollectPairs
+// collector accumulates the result traffic arriving concurrently from all
+// worker reader goroutines.
+type collector struct {
+	collectPairs bool
+	mu           sync.Mutex
+	results      uint64        // guarded by mu
+	pairs        []record.Pair // guarded by mu
+}
+
+// add records one result frame.
+func (c *collector) add(res wire.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results++
+	if c.collectPairs {
+		c.pairs = append(c.pairs, record.Pair{First: res.A, Second: res.B, Sim: res.Sim})
+	}
+}
+
+// drain moves the accumulated totals into the summary. Call it only after
+// every reader goroutine has finished.
+func (c *collector) drain(sum *RunSummary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sum.Results = c.results
+	sum.Pairs = c.pairs
+}
+
+func runSession(ctx context.Context, conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts) (*RunSummary, error) {
 	k := len(conns)
 	if k == 0 {
 		return nil, fmt.Errorf("remote: no workers")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
 	}
 	strat, err := sess.strategyFor(k)
 	if err != nil {
@@ -155,11 +189,22 @@ func runSession(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts)
 	if opts.Snapshot {
 		sum.Snapshots = make([][]byte, k)
 	}
+	coll := &collector{collectPairs: opts.CollectPairs}
 	var (
-		mu      sync.Mutex // guards sum.Results / sum.Pairs
 		wg      sync.WaitGroup
 		readErr = make(chan error, k)
 	)
+
+	// Cancellation closes every closable connection, which unblocks both
+	// the reader goroutines and the dispatch loop below.
+	stopCancel := context.AfterFunc(ctx, func() {
+		for _, c := range conns {
+			if cl, ok := c.(io.Closer); ok {
+				cl.Close()
+			}
+		}
+	})
+	defer stopCancel()
 	for i, c := range conns {
 		wg.Add(1)
 		go func(task int, r io.Reader) {
@@ -178,14 +223,7 @@ func runSession(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts)
 						readErr <- err
 						return
 					}
-					mu.Lock()
-					sum.Results++
-					if collectPairs {
-						sum.Pairs = append(sum.Pairs, record.Pair{
-							First: res.A, Second: res.B, Sim: res.Sim,
-						})
-					}
-					mu.Unlock()
+					coll.add(res)
 				case wire.TypeStats:
 					st, err := rd.ReadStats()
 					if err != nil {
@@ -220,6 +258,9 @@ func runSession(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts)
 	buf := make([]int, 0, k)
 	dispatchErr := func() error {
 		for _, br := range recs {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("remote: %w", err)
+			}
 			r := br.Rec
 			buf = strat.Route(r, k, buf[:0])
 			for _, dst := range buf {
@@ -254,6 +295,11 @@ func runSession(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts)
 	}
 	wg.Wait()
 	close(readErr)
+	if err := ctx.Err(); err != nil {
+		// Reader and dispatch failures after cancellation are fallout from
+		// the closed connections; report the cancellation itself.
+		return nil, fmt.Errorf("remote: %w", err)
+	}
 	if dispatchErr != nil {
 		return nil, dispatchErr
 	}
@@ -262,6 +308,7 @@ func runSession(conns []io.ReadWriter, sess Session, recs []BiRecord, opts Opts)
 			return nil, err
 		}
 	}
+	coll.drain(sum)
 	sum.Elapsed = time.Since(start)
 	sum.TuplesSent = tuples
 	for _, cw := range counters {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Monitor aggregates worker-process counters and serves them over HTTP —
@@ -15,6 +17,9 @@ type Monitor struct {
 	SessionsFailed   atomic.Uint64
 	RecordsSeen      atomic.Uint64
 	ResultsEmitted   atomic.Uint64
+	// SessionLatency tracks wall time per completed session (failures
+	// included).
+	SessionLatency metrics.SyncLatency
 }
 
 // snapshot is the JSON shape of /stats.
@@ -25,13 +30,17 @@ type snapshot struct {
 	SessionsActive   uint64 `json:"sessions_active"`
 	RecordsSeen      uint64 `json:"records_seen"`
 	ResultsEmitted   uint64 `json:"results_emitted"`
+	SessionUsP50     uint64 `json:"session_us_p50"`
+	SessionUsP99     uint64 `json:"session_us_p99"`
 }
 
-// Snapshot returns the current counter values.
+// Snapshot returns the current counter values. Session latency quantiles
+// are reported in microseconds.
 func (m *Monitor) Snapshot() map[string]uint64 {
 	started := m.SessionsStarted.Load()
 	finished := m.SessionsFinished.Load()
 	failed := m.SessionsFailed.Load()
+	lat := m.SessionLatency.Snapshot()
 	return map[string]uint64{
 		"sessions_started":  started,
 		"sessions_finished": finished,
@@ -39,6 +48,8 @@ func (m *Monitor) Snapshot() map[string]uint64 {
 		"sessions_active":   started - finished - failed,
 		"records_seen":      m.RecordsSeen.Load(),
 		"results_emitted":   m.ResultsEmitted.Load(),
+		"session_us_p50":    uint64(lat.Quantile(0.5).Microseconds()),
+		"session_us_p99":    uint64(lat.Quantile(0.99).Microseconds()),
 	}
 }
 
@@ -52,6 +63,7 @@ func (m *Monitor) Handler() http.Handler {
 		started := m.SessionsStarted.Load()
 		finished := m.SessionsFinished.Load()
 		failed := m.SessionsFailed.Load()
+		lat := m.SessionLatency.Snapshot()
 		s := snapshot{
 			SessionsStarted:  started,
 			SessionsFinished: finished,
@@ -59,6 +71,8 @@ func (m *Monitor) Handler() http.Handler {
 			SessionsActive:   started - finished - failed,
 			RecordsSeen:      m.RecordsSeen.Load(),
 			ResultsEmitted:   m.ResultsEmitted.Load(),
+			SessionUsP50:     uint64(lat.Quantile(0.5).Microseconds()),
+			SessionUsP99:     uint64(lat.Quantile(0.99).Microseconds()),
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(s); err != nil {

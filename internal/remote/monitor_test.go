@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net"
@@ -18,7 +19,7 @@ func TestMonitorCountsSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go ServeWorkerMonitored(ln, silentLogf, &mon) //nolint:errcheck
+	go ServeWorkerMonitored(context.Background(), ln, silentLogf, &mon) //nolint:errcheck
 
 	recs := workload.NewGenerator(workload.UniformSmall(1)).Generate(150)
 	conn, err := net.Dial("tcp", ln.Addr().String())
@@ -26,7 +27,7 @@ func TestMonitorCountsSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	sum, err := Run([]io.ReadWriter{conn}, testSession(0.7, "broadcast", nil), recs, false)
+	sum, err := Run(context.Background(), []io.ReadWriter{conn}, testSession(0.7, "broadcast", nil), recs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestMonitorCountsFailedSessions(t *testing.T) {
 	defer ln.Close()
 	done := make(chan struct{})
 	go func() {
-		ServeWorkerMonitored(ln, func(string, ...interface{}) {}, &mon) //nolint:errcheck
+		ServeWorkerMonitored(context.Background(), ln, func(string, ...interface{}) {}, &mon) //nolint:errcheck
 		close(done)
 	}()
 

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -42,7 +43,7 @@ func startWorkers(t *testing.T, n int) []net.Conn {
 		if err != nil {
 			t.Fatal(err)
 		}
-		go ServeWorker(ln, silentLogf) //nolint:errcheck
+		go ServeWorker(context.Background(), ln, silentLogf) //nolint:errcheck
 		c, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
 			t.Fatal(err)
@@ -111,7 +112,7 @@ func TestRemoteMatchesSingleNode(t *testing.T) {
 			sess.Bounds = boundsFor(recs, tau, k)
 		}
 		conns := startWorkers(t, k)
-		sum, err := Run(asRW(conns), sess, recs, true)
+		sum, err := Run(context.Background(), asRW(conns), sess, recs, true)
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
@@ -150,7 +151,7 @@ func TestRemoteWindowedBundleSession(t *testing.T) {
 		Bounds:    boundsFor(recs, tau, 2),
 	}
 	conns := startWorkers(t, 2)
-	sum, err := Run(asRW(conns), sess, recs, false)
+	sum, err := Run(context.Background(), asRW(conns), sess, recs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestRemoteStatsPlumbing(t *testing.T) {
 	recs := workload.NewGenerator(workload.UniformSmall(3)).Generate(200)
 	sess := testSession(0.6, "broadcast", nil)
 	conns := startWorkers(t, 2)
-	sum, err := Run(asRW(conns), sess, recs, false)
+	sum, err := Run(context.Background(), asRW(conns), sess, recs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,14 +189,14 @@ func TestRemoteStatsPlumbing(t *testing.T) {
 }
 
 func TestRemoteRunValidation(t *testing.T) {
-	if _, err := Run(nil, testSession(0.8, "length", nil), nil, false); err == nil {
+	if _, err := Run(context.Background(), nil, testSession(0.8, "length", nil), nil, false); err == nil {
 		t.Fatal("expected error for zero workers")
 	}
 	conns := startWorkers(t, 2)
-	if _, err := Run(asRW(conns), testSession(0.8, "length", []int{5}), nil, false); err == nil {
+	if _, err := Run(context.Background(), asRW(conns), testSession(0.8, "length", []int{5}), nil, false); err == nil {
 		t.Fatal("expected bounds mismatch error")
 	}
-	if _, err := Run(asRW(conns), testSession(0.8, "bogus", nil), nil, false); err == nil {
+	if _, err := Run(context.Background(), asRW(conns), testSession(0.8, "bogus", nil), nil, false); err == nil {
 		t.Fatal("expected unknown strategy error")
 	}
 }
@@ -244,7 +245,7 @@ func TestWorkerDiesMidRunSurfacesError(t *testing.T) {
 	}
 	defer evil.Close()
 
-	_, err = Run([]io.ReadWriter{healthy[0], evil}, sess, recs, false)
+	_, err = Run(context.Background(), []io.ReadWriter{healthy[0], evil}, sess, recs, false)
 	if err == nil {
 		t.Fatal("dead worker went unnoticed")
 	}
@@ -256,7 +257,7 @@ func TestHandleSessionOverPipes(t *testing.T) {
 	cr, ww := io.Pipe() // worker writes results
 	wr, cw := io.Pipe() // coordinator writes records
 	done := make(chan error, 1)
-	go func() { done <- HandleSession(wr, ww) }()
+	go func() { done <- HandleSession(context.Background(), wr, ww) }()
 
 	w := wire.NewWriter(cw)
 	h, err := testSession(0.9, "broadcast", nil).hello(0, 1)
@@ -310,7 +311,7 @@ func TestWorkerServesConcurrentSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go ServeWorker(ln, silentLogf) //nolint:errcheck
+	go ServeWorker(context.Background(), ln, silentLogf) //nolint:errcheck
 
 	const sessions = 4
 	errs := make(chan error, sessions)
@@ -323,7 +324,7 @@ func TestWorkerServesConcurrentSessions(t *testing.T) {
 			}
 			defer conn.Close()
 			recs := workload.NewGenerator(workload.UniformSmall(seed)).Generate(300)
-			sum, err := Run([]io.ReadWriter{conn}, testSession(0.7, "broadcast", nil), recs, false)
+			sum, err := Run(context.Background(), []io.ReadWriter{conn}, testSession(0.7, "broadcast", nil), recs, false)
 			if err != nil {
 				errs <- err
 				return
@@ -354,7 +355,7 @@ func TestRemoteLargeSession(t *testing.T) {
 	sess := testSession(tau, "length", boundsFor(recs, tau, 4))
 	sess.Algorithm = local.Bundled
 	conns := startWorkers(t, 4)
-	sum, err := Run(asRW(conns), sess, recs, false)
+	sum, err := Run(context.Background(), asRW(conns), sess, recs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,14 +384,14 @@ func TestSnapshotSeedAndResume(t *testing.T) {
 
 	// Uninterrupted reference over fresh workers.
 	ref := startWorkers(t, k)
-	full, err := Run(asRW(ref), sess, recs, false)
+	full, err := Run(context.Background(), asRW(ref), sess, recs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Phase 1 with snapshot collection.
 	phase1Conns := startWorkers(t, k)
-	sum1, err := RunWithOpts(asRW(phase1Conns), sess, recs[:cut], Opts{Snapshot: true})
+	sum1, err := RunWithOpts(context.Background(), asRW(phase1Conns), sess, recs[:cut], Opts{Snapshot: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +406,7 @@ func TestSnapshotSeedAndResume(t *testing.T) {
 
 	// Phase 2 on brand-new workers seeded from the snapshots.
 	phase2Conns := startWorkers(t, k)
-	sum2, err := RunWithOpts(asRW(phase2Conns), sess, recs[cut:], Opts{Seed: sum1.Snapshots})
+	sum2, err := RunWithOpts(context.Background(), asRW(phase2Conns), sess, recs[cut:], Opts{Seed: sum1.Snapshots})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,19 +426,19 @@ func TestSnapshotSeedWithLengthStrategy(t *testing.T) {
 	sess := testSession(tau, "length", bounds)
 
 	ref := startWorkers(t, k)
-	full, err := Run(asRW(ref), sess, recs, false)
+	full, err := Run(context.Background(), asRW(ref), sess, recs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	const cut = 300
 	c1 := startWorkers(t, k)
-	sum1, err := RunWithOpts(asRW(c1), sess, recs[:cut], Opts{Snapshot: true})
+	sum1, err := RunWithOpts(context.Background(), asRW(c1), sess, recs[:cut], Opts{Snapshot: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	c2 := startWorkers(t, k)
-	sum2, err := RunWithOpts(asRW(c2), sess, recs[cut:], Opts{Seed: sum1.Snapshots})
+	sum2, err := RunWithOpts(context.Background(), asRW(c2), sess, recs[cut:], Opts{Seed: sum1.Snapshots})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,8 +453,8 @@ func TestDialConnectsAndFailsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go ServeWorker(ln, silentLogf) //nolint:errcheck
-	conns, err := Dial([]string{ln.Addr().String()}, 2*time.Second)
+	go ServeWorker(context.Background(), ln, silentLogf) //nolint:errcheck
+	conns, err := Dial(context.Background(), []string{ln.Addr().String()}, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -461,7 +462,7 @@ func TestDialConnectsAndFailsCleanly(t *testing.T) {
 		c.Close()
 	}
 	// A dead address must fail and close the earlier connections.
-	if _, err := Dial([]string{ln.Addr().String(), "127.0.0.1:1"}, 200*time.Millisecond); err == nil {
+	if _, err := Dial(context.Background(), []string{ln.Addr().String(), "127.0.0.1:1"}, 200*time.Millisecond); err == nil {
 		t.Fatal("dial to dead address succeeded")
 	}
 }
@@ -496,7 +497,7 @@ func TestRemoteBiJoinMatchesLocal(t *testing.T) {
 			sess.Bounds = boundsFor(base, tau, k)
 		}
 		conns := startWorkers(t, k)
-		sum, err := RunBi(asRW(conns), sess, recs, Opts{CollectPairs: true})
+		sum, err := RunBi(context.Background(), asRW(conns), sess, recs, Opts{CollectPairs: true})
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
@@ -524,14 +525,88 @@ func TestRemoteBiJoinMatchesLocal(t *testing.T) {
 
 func TestRemoteBiValidation(t *testing.T) {
 	sess := testSession(0.8, "broadcast", nil)
-	if _, err := RunBi(nil, sess, nil, Opts{}); err == nil {
+	if _, err := RunBi(context.Background(), nil, sess, nil, Opts{}); err == nil {
 		t.Fatal("RunBi without Session.Bi accepted")
 	}
 	sess.Bi = true
-	if _, err := RunBi(nil, sess, nil, Opts{Snapshot: true}); err == nil {
+	if _, err := RunBi(context.Background(), nil, sess, nil, Opts{Snapshot: true}); err == nil {
 		t.Fatal("bi snapshot accepted")
 	}
-	if _, err := RunWithOpts(nil, sess, nil, Opts{}); err == nil {
+	if _, err := RunWithOpts(context.Background(), nil, sess, nil, Opts{}); err == nil {
 		t.Fatal("RunWithOpts with bi session accepted")
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	conns := startWorkers(t, 2)
+	_, err := Run(ctx, asRW(conns), testSession(0.8, "length", []int{5}), nil, false)
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("err = %v, want context canceled", err)
+	}
+}
+
+// TestRunCancelledMidSession points the coordinator at workers that accept
+// connections but never answer, so the run can only end via cancellation.
+func TestRunCancelledMidSession(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold the connection open, send nothing
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		recs := workload.NewGenerator(workload.AOLLike(3)).Generate(50)
+		_, err := Run(ctx, []io.ReadWriter{conn}, testSession(0.8, "broadcast", nil), recs, false)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "context canceled") {
+			t.Fatalf("err = %v, want context canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// TestServeWorkerStopsOnCancel checks the server side: cancelling the
+// context closes the listener and ServeWorker returns nil.
+func TestServeWorkerStopsOnCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ServeWorker(ctx, ln, silentLogf) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeWorker returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeWorker did not return after cancellation")
 	}
 }

@@ -2,11 +2,14 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/local"
@@ -15,18 +18,23 @@ import (
 )
 
 // ServeWorker accepts coordinator connections on ln and runs one join
-// session per connection until ln is closed. Sessions run concurrently;
-// each owns its joiner. The returned error is nil when ln was closed.
-func ServeWorker(ln net.Listener, logf func(format string, args ...interface{})) error {
-	return ServeWorkerMonitored(ln, logf, nil)
+// session per connection until ln is closed or ctx is cancelled. Sessions
+// run concurrently; each owns its joiner. The returned error is nil when
+// the listener was closed; in-flight sessions are drained before return.
+func ServeWorker(ctx context.Context, ln net.Listener, logf func(format string, args ...interface{})) error {
+	return ServeWorkerMonitored(ctx, ln, logf, nil)
 }
 
 // ServeWorkerMonitored behaves like ServeWorker and additionally feeds the
 // monitor's counters (mon may be nil).
-func ServeWorkerMonitored(ln net.Listener, logf func(format string, args ...interface{}), mon *Monitor) error {
+func ServeWorkerMonitored(ctx context.Context, ln net.Listener, logf func(format string, args ...interface{}), mon *Monitor) error {
 	if logf == nil {
 		logf = log.Printf
 	}
+	stopCancel := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stopCancel()
+	var wg sync.WaitGroup
+	defer wg.Wait() // graceful drain: finish in-flight sessions first
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -35,12 +43,21 @@ func ServeWorkerMonitored(ln net.Listener, logf func(format string, args ...inte
 			}
 			return err
 		}
+		wg.Add(1)
 		go func(conn net.Conn) {
+			defer wg.Done()
 			defer conn.Close()
+			stopConn := context.AfterFunc(ctx, func() { conn.Close() })
+			defer stopConn()
 			if mon != nil {
 				mon.SessionsStarted.Add(1)
 			}
-			if err := HandleSessionMonitored(conn, conn, mon); err != nil {
+			start := time.Now()
+			err := HandleSessionMonitored(ctx, conn, conn, mon)
+			if mon != nil {
+				mon.SessionLatency.Observe(time.Since(start))
+			}
+			if err != nil {
 				if mon != nil {
 					mon.SessionsFailed.Add(1)
 				}
@@ -54,14 +71,16 @@ func ServeWorkerMonitored(ln net.Listener, logf func(format string, args ...inte
 
 // HandleSession runs one worker-side join session over the given
 // reader/writer pair (a TCP connection in production, an in-memory pipe in
-// tests). It returns when the coordinator sends EOF (nil error) or the
-// stream breaks.
-func HandleSession(r io.Reader, w io.Writer) error {
-	return HandleSessionMonitored(r, w, nil)
+// tests). It returns when the coordinator sends EOF (nil error), the
+// stream breaks, or ctx is cancelled between frames. Callers streaming
+// over a blocking transport should additionally arrange for cancellation
+// to close the transport (ServeWorker does).
+func HandleSession(ctx context.Context, r io.Reader, w io.Writer) error {
+	return HandleSessionMonitored(ctx, r, w, nil)
 }
 
 // HandleSessionMonitored is HandleSession with optional monitor counters.
-func HandleSessionMonitored(r io.Reader, w io.Writer, mon *Monitor) error {
+func HandleSessionMonitored(ctx context.Context, r io.Reader, w io.Writer, mon *Monitor) error {
 	wr := wire.NewWriter(w)
 	rd := wire.NewReader(r)
 
@@ -139,6 +158,9 @@ func HandleSessionMonitored(r io.Reader, w io.Writer, mon *Monitor) error {
 
 	first := true
 	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("remote: session cancelled: %w", err)
+		}
 		typ, err := rd.Next()
 		if err != nil {
 			return fmt.Errorf("remote: reading frame: %w", err)

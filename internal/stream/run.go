@@ -137,9 +137,8 @@ func (tp *Topology) Run() (*Report, error) {
 
 	start := time.Now()
 	var (
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicked []error
+		wg  sync.WaitGroup
+		rec panicRecorder
 	)
 	for _, name := range tp.order {
 		for _, tr := range tasks[name] {
@@ -147,19 +146,42 @@ func (tp *Topology) Run() (*Report, error) {
 			go func(tr *taskRun) {
 				defer wg.Done()
 				if err := tr.run(); err != nil {
-					panicMu.Lock()
-					panicked = append(panicked, err)
-					panicMu.Unlock()
+					rec.record(err)
 				}
 			}(tr)
 		}
 	}
 	wg.Wait()
 	report.Elapsed = time.Since(start)
-	if len(panicked) > 0 {
-		return report, fmt.Errorf("stream: %d task(s) panicked; first: %w", len(panicked), panicked[0])
+	if err := rec.err(); err != nil {
+		return report, err
 	}
 	return report, nil
+}
+
+// panicRecorder collects task-panic errors from concurrently failing
+// executors.
+type panicRecorder struct {
+	mu   sync.Mutex
+	errs []error // guarded by mu
+}
+
+// record stores one task failure.
+func (p *panicRecorder) record(e error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.errs = append(p.errs, e)
+}
+
+// err summarizes the recorded failures (nil when none). Safe to call while
+// tasks are still running, though callers normally wait first.
+func (p *panicRecorder) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("stream: %d task(s) panicked; first: %w", len(p.errs), p.errs[0])
 }
 
 // run executes the task loop, converting panics in user code (spouts and

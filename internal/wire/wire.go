@@ -30,6 +30,8 @@ const (
 	TypeHello byte = iota + 1
 	TypeRecord
 	TypeResult
+	// TypeEOF ends the coordinator's record stream; payload-free, the
+	// worker reacts to the frame type alone.
 	TypeEOF
 	TypeStats
 	// TypeSnapshot carries an opaque checkpoint blob: coordinator→worker
@@ -37,7 +39,7 @@ const (
 	// Stats when the coordinator ended the stream with TypeSnapshotReq.
 	TypeSnapshot
 	// TypeSnapshotReq replaces TypeEOF when the coordinator wants the
-	// worker's window state back.
+	// worker's window state back; payload-free like TypeEOF.
 	TypeSnapshotReq
 )
 
