@@ -3,21 +3,48 @@
 //	ssjoinbench                 # run everything at default scale
 //	ssjoinbench -exp E1         # one experiment
 //	ssjoinbench -records 50000 -workers 8 -seed 7
+//	ssjoinbench -batch 1        # disable transport micro-batching
+//	ssjoinbench -json out.json  # machine-readable results
 //	ssjoinbench -list           # inventory
 //
 // Output is aligned text, one table per experiment, matching the
-// per-experiment index in EXPERIMENTS.md.
+// per-experiment index in EXPERIMENTS.md. With -json, the same tables are
+// additionally written to a JSON file together with per-experiment wall
+// time and allocation counts, for benchmark tracking across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// runRecord is one experiment's table plus measurement metadata, the unit
+// of the -json report.
+type runRecord struct {
+	ID              string     `json:"id"`
+	Title           string     `json:"title"`
+	ElapsedSec      float64    `json:"elapsed_sec"`
+	AllocsPerRecord float64    `json:"allocs_per_record"`
+	Columns         []string   `json:"columns"`
+	Rows            [][]string `json:"rows"`
+	Notes           string     `json:"notes,omitempty"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Records     int         `json:"records"`
+	Workers     int         `json:"workers"`
+	Seed        int64       `json:"seed"`
+	Batch       int         `json:"batch"`
+	Experiments []runRecord `json:"experiments"`
+}
 
 func main() {
 	var (
@@ -25,9 +52,12 @@ func main() {
 		records = flag.Int("records", 0, "records per run (default: experiment default)")
 		workers = flag.Int("workers", 0, "worker parallelism (default: experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (default: experiment default)")
+		batch   = flag.Int("batch", 0, "transport batch size (0 = engine default, 1 = unbatched)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		format  = flag.String("format", "text", "output format: text or csv")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		jsonOut = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +92,9 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	if *batch > 0 {
+		scale.Batch = *batch
+	}
 
 	var runs []experiments.Experiment
 	if *expID != "" {
@@ -76,17 +109,62 @@ func main() {
 	}
 
 	if *format == "text" {
-		fmt.Printf("scale: records=%d workers=%d seed=%d\n\n", scale.Records, scale.Workers, scale.Seed)
+		fmt.Printf("scale: records=%d workers=%d seed=%d batch=%d\n\n",
+			scale.Records, scale.Workers, scale.Seed, scale.Batch)
 	}
+	report := jsonReport{
+		Records: scale.Records, Workers: scale.Workers,
+		Seed: scale.Seed, Batch: scale.Batch,
+	}
+	var ms runtime.MemStats
 	for _, e := range runs {
+		runtime.ReadMemStats(&ms)
+		mallocsBefore := ms.Mallocs
 		start := time.Now()
 		tab := e.Run(scale)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
 		switch *format {
 		case "csv":
 			fmt.Printf("# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
 		default:
 			fmt.Print(tab.Format())
-			fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%v)\n\n", elapsed.Round(time.Millisecond))
+		}
+		report.Experiments = append(report.Experiments, runRecord{
+			ID:              tab.ID,
+			Title:           tab.Title,
+			ElapsedSec:      elapsed.Seconds(),
+			AllocsPerRecord: float64(ms.Mallocs-mallocsBefore) / float64(scale.Records),
+			Columns:         tab.Columns,
+			Rows:            tab.Rows,
+			Notes:           tab.Notes,
+		})
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -87,6 +87,10 @@ type DistributedConfig struct {
 	// CollectPairs returns every result pair in the summary; leave false
 	// for large runs and read Results instead.
 	CollectPairs bool
+	// BatchSize is the transport micro-batch size between pipeline stages:
+	// 0 uses the engine default, 1 ships every tuple individually (the
+	// pre-batching behaviour). Result pairs are identical at any value.
+	BatchSize int
 }
 
 // DistributedResult summarizes a distributed run.
@@ -184,6 +188,7 @@ func RunDistributed(records [][]uint32, cfg DistributedConfig) (*DistributedResu
 		Window:       win,
 		Bundle:       bcfg,
 		CollectPairs: cfg.CollectPairs,
+		BatchSize:    cfg.BatchSize,
 	})
 	if err != nil {
 		return nil, err
@@ -269,6 +274,7 @@ func RunDistributedBi(stream []SideSet, cfg DistributedConfig) (*DistributedResu
 		Window:       win,
 		Bundle:       bcfg,
 		CollectPairs: cfg.CollectPairs,
+		BatchSize:    cfg.BatchSize,
 	})
 	if err != nil {
 		return nil, err

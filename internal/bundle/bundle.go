@@ -20,6 +20,7 @@ import (
 	"repro/internal/tokens"
 
 	"repro/internal/record"
+	"repro/internal/similarity"
 )
 
 // Member is one record inside a bundle together with its token difference
@@ -204,9 +205,13 @@ func overlapStepsBounded(a, b []tokens.Rank, required int) (o, steps int, ok boo
 
 // add appends r as a member: the core shrinks to core ∩ r, existing deltas
 // absorb the evicted core tokens, and the union grows by r's tokens.
-// It returns the tokens of r's prefix that were not yet posted for this
-// bundle so the caller can extend the posting lists.
-func (b *Bundle) add(r *record.Record, prefixLen int) (newPostings []tokens.Rank) {
+// newCore must equal core ∩ r.Tokens when the bundle is non-empty — the
+// caller already computed it for the grouping check, so add reuses it
+// instead of re-merging; it may alias caller scratch (add copies before
+// keeping it) and is ignored for the first member. add returns the tokens
+// of r's prefix that were not yet posted for this bundle so the caller can
+// extend the posting lists.
+func (b *Bundle) add(r *record.Record, prefixLen int, newCore []tokens.Rank) (newPostings []tokens.Rank) {
 	if b.live == 0 {
 		// Records are immutable, so a singleton bundle can alias the
 		// record's token slice; every later mutation path allocates fresh
@@ -215,19 +220,20 @@ func (b *Bundle) add(r *record.Record, prefixLen int) (newPostings []tokens.Rank
 		b.Union = r.Tokens
 		b.Members = append(b.Members, &Member{Rec: r, Delta: nil})
 	} else {
-		newCore := intersect(b.Core, r.Tokens)
 		if len(newCore) != len(b.Core) {
-			released := subtract(b.Core, newCore)
+			released := similarity.GetRanks()
+			*released = similarity.SubtractInto(*released, b.Core, newCore)
 			for _, m := range b.Members {
 				if m.dead {
 					continue
 				}
-				m.Delta = union(m.Delta, released)
+				m.Delta = union(m.Delta, *released)
 			}
-			b.Core = newCore
+			b.Core = append(make([]tokens.Rank, 0, len(newCore)), newCore...)
+			similarity.PutRanks(released)
 		}
 		b.Union = union(b.Union, r.Tokens)
-		b.Members = append(b.Members, &Member{Rec: r, Delta: subtract(r.Tokens, newCoreOf(b))})
+		b.Members = append(b.Members, &Member{Rec: r, Delta: subtract(r.Tokens, b.Core)})
 	}
 	b.live++
 	if b.live > b.peak {
@@ -242,8 +248,6 @@ func (b *Bundle) add(r *record.Record, prefixLen int) (newPostings []tokens.Rank
 	}
 	return newPostings
 }
-
-func newCoreOf(b *Bundle) []tokens.Rank { return b.Core }
 
 // removeDead drops dead members and, when the bundle has shrunk to half its
 // peak, rebuilds Union (and tightens Core) from the survivors.

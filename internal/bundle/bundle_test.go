@@ -76,6 +76,16 @@ func checkInvariants(t *testing.T, b *Bundle) {
 	}
 }
 
+// addRec calls Bundle.add the way Index.Insert does: the trial core
+// (core ∩ r.Tokens) is computed by the caller and threaded through.
+func addRec(b *Bundle, r *record.Record, prefixLen int) []tokens.Rank {
+	var newCore []tokens.Rank
+	if b.Live() > 0 {
+		newCore = intersect(b.Core, r.Tokens)
+	}
+	return b.add(r, prefixLen, newCore)
+}
+
 func TestBundleAddMaintainsInvariants(t *testing.T) {
 	b := &Bundle{ID: 1}
 	recs := []*record.Record{
@@ -85,7 +95,7 @@ func TestBundleAddMaintainsInvariants(t *testing.T) {
 		rec(3, 1, 2, 3, 9, 10),
 	}
 	for _, r := range recs {
-		b.add(r, 2)
+		addRec(b, r, 2)
 		checkInvariants(t, b)
 	}
 	// Core must be the intersection of all four: {2,3}
@@ -96,15 +106,15 @@ func TestBundleAddMaintainsInvariants(t *testing.T) {
 
 func TestBundleAddReportsOnlyNewPostings(t *testing.T) {
 	b := &Bundle{ID: 1}
-	first := b.add(rec(0, 1, 2, 3, 4), 2)
+	first := addRec(b, rec(0, 1, 2, 3, 4), 2)
 	if !reflect.DeepEqual(first, []tokens.Rank{1, 2}) {
 		t.Fatalf("first postings: %v", first)
 	}
-	second := b.add(rec(1, 1, 2, 3, 5), 2)
+	second := addRec(b, rec(1, 1, 2, 3, 5), 2)
 	if len(second) != 0 {
 		t.Fatalf("duplicate postings issued: %v", second)
 	}
-	third := b.add(rec(2, 1, 7, 8, 9), 2)
+	third := addRec(b, rec(2, 1, 7, 8, 9), 2)
 	if !reflect.DeepEqual(third, []tokens.Rank{7}) {
 		t.Fatalf("third postings: %v", third)
 	}
@@ -300,10 +310,10 @@ func TestBundlingReducesPostings(t *testing.T) {
 
 func TestRemoveDeadRebuildsUnion(t *testing.T) {
 	b := &Bundle{ID: 1}
-	b.add(rec(0, 1, 2, 3), 1)
-	b.add(rec(1, 1, 2, 4), 1)
-	b.add(rec(2, 1, 2, 5), 1)
-	b.add(rec(3, 1, 2, 6), 1)
+	addRec(b, rec(0, 1, 2, 3), 1)
+	addRec(b, rec(1, 1, 2, 4), 1)
+	addRec(b, rec(2, 1, 2, 5), 1)
+	addRec(b, rec(3, 1, 2, 6), 1)
 	// kill 3 of 4 → shrink rebuild must fire
 	for _, m := range b.Members[:3] {
 		m.dead = true

@@ -98,6 +98,11 @@ type Index struct {
 
 	// probe scratch
 	seen map[uint64]struct{}
+	// trial is insert-path scratch for the candidate core intersection
+	// (single-writer like the rest of the index, so a plain reused slice
+	// beats pooling here; pooled buffers cover the shared helpers in
+	// Bundle.add).
+	trial []tokens.Rank
 }
 
 // New returns an empty bundle index.
@@ -366,13 +371,20 @@ func (bx *Index) InsertSingleton(r *record.Record) {
 // with the record's unposted prefix tokens.
 func (bx *Index) Insert(r *record.Record, best Insertion) {
 	p := bx.params.PrefixLen(r.Len())
-	var target *Bundle
+	var (
+		target  *Bundle
+		newCore []tokens.Rank
+	)
 	if best.Bundle != nil && best.Sim >= bx.cfg.GroupThreshold-1e-12 {
 		b := best.Bundle
 		if b.live < bx.cfg.MaxMembers {
-			newCore := intersect(b.Core, r.Tokens)
-			if float64(len(newCore)) >= bx.cfg.MinCoreFrac*float64(r.Len()) {
+			// Trial intersection in reused scratch: add() consumes it when
+			// the membership is accepted, so the merge runs exactly once
+			// and the rejected case allocates nothing.
+			bx.trial = similarity.IntersectInto(bx.trial[:0], b.Core, r.Tokens)
+			if float64(len(bx.trial)) >= bx.cfg.MinCoreFrac*float64(r.Len()) {
 				target = b
+				newCore = bx.trial
 			} else {
 				bx.stats.GroupRejectLen++
 			}
@@ -388,7 +400,7 @@ func (bx *Index) Insert(r *record.Record, best Insertion) {
 	} else {
 		bx.stats.Appends++
 	}
-	newPosts := target.add(r, p)
+	newPosts := target.add(r, p, newCore)
 	for _, tok := range newPosts {
 		bx.posts[tok] = append(bx.posts[tok], target)
 	}

@@ -37,7 +37,7 @@ func E13(sc Scale) *Table {
 
 	runPhase := func(name, phase string, part partition.Partition, recs []*record.Record) {
 		strat := lengthWith(p, part)
-		res := runTopology(recs, strat, p, k, local.Bundled, nil)
+		res := runTopology(sc, recs, strat, p, k, local.Bundled, nil)
 		est := partition.Imbalance(part, weightsOf(recs))
 		loads := make([]float64, len(res.WorkerCosts))
 		for i, c := range res.WorkerCosts {

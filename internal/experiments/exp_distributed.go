@@ -71,7 +71,7 @@ func E1(sc Scale) *Table {
 		p := jaccard(tau)
 		rates := map[string]float64{}
 		for _, name := range frameworkNames {
-			res := runTopology(recs, strategyFor(name, p, recs, sc.Workers), p, sc.Workers, local.Bundled, nil)
+			res := runTopology(sc, recs, strategyFor(name, p, recs, sc.Workers), p, sc.Workers, local.Bundled, nil)
 			rates[name] = res.Throughput().PerSecond()
 		}
 		t.AddRow(tau, rates["length"], rates["prefix"], rates["broadcast"],
@@ -100,7 +100,7 @@ func E2(sc Scale) *Table {
 	for _, k := range workerSweep(sc.Workers) {
 		row := []interface{}{k}
 		for _, name := range frameworkNames {
-			res := runTopology(recs, strategyFor(name, p, recs, k), p, k, local.Bundled, nil)
+			res := runTopology(sc, recs, strategyFor(name, p, recs, k), p, k, local.Bundled, nil)
 			row = append(row, res.Throughput().PerSecond())
 		}
 		t.AddRow(row...)
@@ -138,7 +138,7 @@ func E3(sc Scale) *Table {
 		tup := map[string]float64{}
 		byt := map[string]float64{}
 		for _, name := range frameworkNames {
-			res := runTopology(recs, strategyFor(name, p, recs, sc.Workers), p, sc.Workers, local.Prefix, nil)
+			res := runTopology(sc, recs, strategyFor(name, p, recs, sc.Workers), p, sc.Workers, local.Prefix, nil)
 			tup[name] = float64(res.CommTuples) / n
 			byt[name] = float64(res.CommBytes) / n
 		}
@@ -160,7 +160,7 @@ func E4(sc Scale) *Table {
 	for _, prof := range []workload.Profile{workload.AOLLike(sc.Seed), workload.TweetLike(sc.Seed)} {
 		recs := genProfile(prof, sc.Records)
 		for _, name := range frameworkNames {
-			res := runTopology(recs, strategyFor(name, p, recs, sc.Workers), p, sc.Workers, local.Prefix, nil)
+			res := runTopology(sc, recs, strategyFor(name, p, recs, sc.Workers), p, sc.Workers, local.Prefix, nil)
 			var postings uint64
 			for _, c := range res.WorkerCosts {
 				postings += c.Postings
@@ -183,7 +183,7 @@ func E10(sc Scale) *Table {
 	recs := genProfile(workload.AOLLike(sc.Seed), sc.Records)
 	p := jaccard(0.8)
 	for _, name := range frameworkNames {
-		res := runTopology(recs, strategyFor(name, p, recs, sc.Workers), p, sc.Workers, local.Bundled, nil)
+		res := runTopology(sc, recs, strategyFor(name, p, recs, sc.Workers), p, sc.Workers, local.Bundled, nil)
 		l := &res.Latency
 		t.AddRow(name,
 			l.Mean().Round(time.Microsecond).String(),
@@ -212,7 +212,7 @@ func E11(sc Scale) *Table {
 	}
 	for _, win := range wins {
 		strat := strategyFor("length", p, recs, sc.Workers)
-		res := runTopology(recs, strat, p, sc.Workers, local.Bundled, win)
+		res := runTopology(sc, recs, strat, p, sc.Workers, local.Bundled, win)
 		var postings uint64
 		for _, c := range res.WorkerCosts {
 			postings += c.Postings
@@ -245,7 +245,7 @@ func E5(sc Scale) *Table {
 			part := parts[name]
 			est := partition.Imbalance(part, weights)
 			strat := lengthWith(p, part)
-			res := runTopology(recs, strat, p, sc.Workers, local.Prefix, nil)
+			res := runTopology(sc, recs, strat, p, sc.Workers, local.Prefix, nil)
 			loads := make([]float64, len(res.WorkerCosts))
 			for i, c := range res.WorkerCosts {
 				loads[i] = float64(c.VerifySteps)
@@ -278,7 +278,7 @@ func E6(sc Scale) *Table {
 		{"load-aware", partition.LoadAware(weights, sc.Workers)},
 	}
 	for _, pp := range parts {
-		res := runTopology(recs, lengthWith(p, pp.part), p, sc.Workers, local.Bundled, nil)
+		res := runTopology(sc, recs, lengthWith(p, pp.part), p, sc.Workers, local.Bundled, nil)
 		t.AddRow(pp.name, res.Throughput().PerSecond(),
 			metrics.SummarizeLoads(workerLoads(res)).Imbalance)
 	}
@@ -303,7 +303,7 @@ func E12(sc Scale) *Table {
 	for _, f := range []similarity.Func{similarity.Jaccard, similarity.Cosine, similarity.Dice} {
 		p := filter.Params{Func: f, Threshold: 0.8}
 		strat := strategyFor("length", p, recs, sc.Workers)
-		res := runTopology(recs, strat, p, sc.Workers, local.Bundled, nil)
+		res := runTopology(sc, recs, strat, p, sc.Workers, local.Bundled, nil)
 		t.AddRow(f.String(), res.Results, res.Throughput().PerSecond(),
 			float64(res.CommTuples)/float64(len(recs)))
 	}

@@ -29,7 +29,7 @@ func E14(sc Scale) *Table {
 
 	// In-process engine.
 	strat := strategyFor("length", p, recs, k)
-	res := runTopology(recs, strat, p, k, local.Bundled, nil)
+	res := runTopology(sc, recs, strat, p, k, local.Bundled, nil)
 	t.AddRow("in-process", res.Throughput().PerSecond(), res.Results,
 		float64(res.CommBytes)/float64(len(recs)))
 

@@ -24,6 +24,9 @@ type Scale struct {
 	Workers int
 	// Seed for workload generation.
 	Seed int64
+	// Batch is the transport batch size for distributed runs: 0 uses the
+	// engine default (stream.DefaultBatchSize), 1 disables batching.
+	Batch int
 }
 
 // DefaultScale is the CLI default.
@@ -106,14 +109,17 @@ func strategyFor(name string, p filter.Params, recs []*record.Record, k int) dis
 
 var frameworkNames = []string{"length", "prefix", "broadcast"}
 
-// runTopology executes one distributed join and returns its result.
-func runTopology(recs []*record.Record, strat dispatch.Strategy, p filter.Params, k int, alg local.Algorithm, win window.Policy) *topology.Result {
+// runTopology executes one distributed join and returns its result. The
+// Scale threads run-wide knobs (currently the transport batch size) into
+// the topology config without widening every experiment's parameter list.
+func runTopology(sc Scale, recs []*record.Record, strat dispatch.Strategy, p filter.Params, k int, alg local.Algorithm, win window.Policy) *topology.Result {
 	res, err := topology.Run(recs, topology.Config{
 		Workers:   k,
 		Strategy:  strat,
 		Algorithm: alg,
 		Params:    p,
 		Window:    win,
+		BatchSize: sc.Batch,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: topology run failed: %v", err))

@@ -7,28 +7,77 @@ import (
 	"time"
 )
 
+// batch is one transport unit: a reusable slice of tuples shipped over an
+// edge channel in a single send. Batching amortizes channel synchronization
+// (one send/receive + one potential goroutine wakeup per BatchSize tuples
+// instead of per tuple), the same amortization the join applies at the
+// algorithm level via bundles and batch verification. Batches are recycled
+// through a per-run sync.Pool, so the steady-state emit path allocates
+// nothing.
+type batch struct {
+	items []Tuple
+}
+
 // taskRun is one executor: a task instance with its input queue and output
 // routing tables.
 type taskRun struct {
 	comp *component
 	idx  int
 
-	in        chan Tuple
+	in        chan *batch
 	producers atomic.Int64 // upstream tasks still running; close(in) at zero
 
 	outs []*edgeOut
+	pool *sync.Pool // shared batch pool for the whole run
 
 	counters *TaskCounters
 	bolt     Bolt
 	spout    Spout
 }
 
-// edgeOut is one producer task's view of a downstream subscription.
+// edgeOut is one producer task's view of a downstream subscription. It owns
+// one pending (accumulating) batch per destination task; the owning producer
+// goroutine is the only writer, so no locking is needed. Per-(producer,
+// destination) FIFO order is preserved: tuples append to the pending batch
+// in emit order and batches ship in fill order over a FIFO channel.
 type edgeOut struct {
-	stream   string
-	sel      Selector
-	dests    []*taskRun
-	counters *EdgeCounters
+	stream    string
+	sel       Selector
+	dests     []*taskRun
+	counters  *EdgeCounters
+	batchSize int
+	pending   []*batch // one accumulating batch per destination, nil when empty
+}
+
+// send appends t to destination d's pending batch, shipping the batch when
+// it reaches batchSize.
+func (o *edgeOut) send(d int, t Tuple, pool *sync.Pool) {
+	b := o.pending[d]
+	if b == nil {
+		b = pool.Get().(*batch)
+		o.pending[d] = b
+	}
+	b.items = append(b.items, t)
+	if len(b.items) >= o.batchSize {
+		o.pending[d] = nil
+		o.counters.Batches.Add(1)
+		o.dests[d].in <- b
+	}
+}
+
+// flush ships every non-empty pending batch. Call when the producer task
+// finishes so no tuple is stranded in an accumulation buffer.
+func (o *edgeOut) flush() {
+	for d, b := range o.pending {
+		if b == nil {
+			continue
+		}
+		o.pending[d] = nil
+		if len(b.items) > 0 {
+			o.counters.Batches.Add(1)
+			o.dests[d].in <- b
+		}
+	}
 }
 
 // emitter implements Emitter for one producer task.
@@ -36,26 +85,41 @@ type emitter struct {
 	outs     []*edgeOut
 	counters *TaskCounters
 	buf      []int
+	pool     *sync.Pool
 }
 
 func (e *emitter) Emit(t Tuple) { e.EmitTo(DefaultStream, t) }
 
 func (e *emitter) EmitTo(stream string, t Tuple) {
 	e.counters.Emitted.Add(1)
-	size := uint64(t.SizeBytes())
+	// SizeBytes is computed lazily: only once a subscribed edge selects at
+	// least one destination. Emits to unsubscribed streams and selections
+	// that route nowhere skip both the size call and all counter updates.
+	size := -1
 	for _, out := range e.outs {
 		if out.stream != stream {
 			continue
 		}
-		e.buf = e.buf[:0]
-		e.buf = out.sel.Select(t, e.buf)
-		if n := len(e.buf); n > 0 {
-			out.counters.Tuples.Add(uint64(n))
-			out.counters.Bytes.Add(size * uint64(n))
+		e.buf = out.sel.Select(t, e.buf[:0])
+		n := len(e.buf)
+		if n == 0 {
+			continue
 		}
+		if size < 0 {
+			size = t.SizeBytes()
+		}
+		out.counters.Tuples.Add(uint64(n))
+		out.counters.Bytes.Add(uint64(size) * uint64(n))
 		for _, d := range e.buf {
-			out.dests[d].in <- t
+			out.send(d, t, e.pool)
 		}
+	}
+}
+
+// flush ships every pending batch on every edge of this producer.
+func (e *emitter) flush() {
+	for _, out := range e.outs {
+		out.flush()
 	}
 }
 
@@ -83,6 +147,13 @@ func (tp *Topology) Run() (*Report, error) {
 		Bolts:    make(map[string][]Bolt),
 	}
 
+	// One batch pool per run: batches have uniform capacity, so any task
+	// can recycle any producer's batch.
+	batchSize := tp.batchSize
+	pool := &sync.Pool{New: func() interface{} {
+		return &batch{items: make([]Tuple, 0, batchSize)}
+	}}
+
 	// Materialize tasks.
 	tasks := make(map[string][]*taskRun)
 	for _, name := range tp.order {
@@ -90,9 +161,9 @@ func (tp *Topology) Run() (*Report, error) {
 		runs := make([]*taskRun, c.par)
 		counters := make([]*TaskCounters, c.par)
 		for i := 0; i < c.par; i++ {
-			tr := &taskRun{comp: c, idx: i, counters: &TaskCounters{}}
+			tr := &taskRun{comp: c, idx: i, counters: &TaskCounters{}, pool: pool}
 			if c.boltF != nil {
-				tr.in = make(chan Tuple, tp.queueCap)
+				tr.in = make(chan *batch, tp.queueCap)
 				tr.bolt = c.boltF(i)
 				report.Bolts[name] = append(report.Bolts[name], tr.bolt)
 			} else {
@@ -123,10 +194,12 @@ func (tp *Topology) Run() (*Report, error) {
 			}
 			for _, prod := range tasks[in.from] {
 				prod.outs = append(prod.outs, &edgeOut{
-					stream:   streamName,
-					sel:      in.grouping.NewSelector(len(dests)),
-					dests:    dests,
-					counters: ec,
+					stream:    streamName,
+					sel:       in.grouping.NewSelector(len(dests)),
+					dests:     dests,
+					counters:  ec,
+					batchSize: batchSize,
+					pending:   make([]*batch, len(dests)),
 				})
 			}
 			for _, d := range dests {
@@ -187,7 +260,8 @@ func (p *panicRecorder) err() error {
 // run executes the task loop, converting panics in user code (spouts and
 // bolts) into errors so one faulty operator cannot crash the host process.
 // Downstream completion still propagates, so the topology drains instead
-// of deadlocking.
+// of deadlocking. On a panic, tuples still sitting in pending batches are
+// dropped — the run already reports an error.
 func (t *taskRun) run() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -216,9 +290,11 @@ func (t *taskRun) run() (err error) {
 }
 
 // loop is the executor body: spouts pull, bolts drain their queue; both
-// notify downstream on completion.
+// flush pending batches on completion (so the explicit flush, not batch
+// fill, is what guarantees delivery of the tail) and then notify
+// downstream.
 func (t *taskRun) loop() {
-	em := &emitter{outs: t.outs, counters: t.counters}
+	em := &emitter{outs: t.outs, counters: t.counters, pool: t.pool}
 	if t.spout != nil {
 		for {
 			tu, ok := t.spout.Next()
@@ -229,12 +305,18 @@ func (t *taskRun) loop() {
 			em.Emit(tu)
 		}
 	} else {
-		for tu := range t.in {
-			t.counters.Executed.Add(1)
-			t.bolt.Execute(tu, em)
+		for b := range t.in {
+			for i, tu := range b.items {
+				b.items[i] = nil // drop the ref so pooled batches don't pin tuples
+				t.counters.Executed.Add(1)
+				t.bolt.Execute(tu, em)
+			}
+			b.items = b.items[:0]
+			t.pool.Put(b)
 		}
 		if f, ok := t.bolt.(Flusher); ok {
 			f.Flush(em)
 		}
 	}
+	em.flush()
 }

@@ -8,6 +8,7 @@ package topology
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bundle"
@@ -35,14 +36,21 @@ type RecTuple struct {
 // plus 4 bytes per token.
 func (t RecTuple) SizeBytes() int { return 24 + 4*len(t.Rec.Tokens) }
 
-// ResultTuple carries one verified join pair from a worker to the sink.
+// ResultTuple carries one verified join pair from a worker to the sink. It
+// travels as a pointer recycled through resultPool: the sink returns each
+// tuple after reading it, so result-heavy joins do not allocate per pair.
 type ResultTuple struct {
 	Pair record.Pair
 	Enq  time.Time
 }
 
 // SizeBytes implements stream.Tuple.
-func (ResultTuple) SizeBytes() int { return 24 }
+func (*ResultTuple) SizeBytes() int { return 24 }
+
+// resultPool recycles ResultTuples between the worker bolts (Get) and the
+// sink (Put). sync.Pool is internally synchronized, so concurrent workers
+// and the sink need no further locking.
+var resultPool = sync.Pool{New: func() interface{} { return new(ResultTuple) }}
 
 // Config specifies one join topology run.
 type Config struct {
@@ -58,8 +66,12 @@ type Config struct {
 	Window window.Policy
 	// Bundle tunes the Bundled algorithm.
 	Bundle bundle.Config
-	// QueueCap is the per-task queue capacity (default 1024).
+	// QueueCap is the per-task queue capacity in transport batches
+	// (default: enough batches to buffer ~1024 tuples).
 	QueueCap int
+	// BatchSize is the transport micro-batch size: tuples accumulated per
+	// destination before a channel send (default 64; 1 disables batching).
+	BatchSize int
 	// CollectPairs keeps every result pair in memory (tests and small
 	// runs); otherwise the sink only counts.
 	CollectPairs bool
@@ -235,7 +247,10 @@ func (w *workerBolt) process(rt RecTuple, em stream.Emitter) {
 			return
 		}
 		w.results++
-		em.Emit(ResultTuple{Pair: record.NewPair(r.ID, m.Rec.ID, m.Sim), Enq: rt.Enq})
+		out := resultPool.Get().(*ResultTuple)
+		out.Pair = record.NewPair(r.ID, m.Rec.ID, m.Sim)
+		out.Enq = rt.Enq
+		em.Emit(out)
 	}
 	if w.bi != nil {
 		w.bi.StepSide(r, rt.Right, store, emit)
@@ -252,13 +267,14 @@ type sinkBolt struct {
 	pairs   []record.Pair
 }
 
-// Execute implements stream.Bolt.
+// Execute implements stream.Bolt: read the pair, then recycle the tuple.
 func (s *sinkBolt) Execute(t stream.Tuple, _ stream.Emitter) {
-	rt := t.(ResultTuple)
+	rt := t.(*ResultTuple)
 	s.count++
 	if s.collect {
 		s.pairs = append(s.pairs, rt.Pair)
 	}
+	resultPool.Put(rt)
 }
 
 // Run executes one self-join over the record slice and returns the
@@ -289,12 +305,22 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Res
 	if cfg.Dispatchers < 1 {
 		cfg.Dispatchers = 1
 	}
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = stream.DefaultBatchSize
+	}
+	// Queue capacity counts batches; the default keeps the buffered-tuple
+	// budget (~1024 per queue) of the unbatched engine.
 	queueCap := cfg.QueueCap
 	if queueCap <= 0 {
-		queueCap = 1024
+		queueCap = (1024 + batchSize - 1) / batchSize
+		if queueCap < 4 {
+			queueCap = 4
+		}
 	}
 
-	tp := stream.New("ssjoin-"+cfg.Strategy.Name(), cfg.QueueCap)
+	tp := stream.New("ssjoin-"+cfg.Strategy.Name(), queueCap,
+		stream.WithBatchSize(batchSize))
 	tp.AddSpout("source", spoutF, 1)
 	tp.AddBolt("dispatcher", func(int) stream.Bolt {
 		return dispatcherBolt{}
@@ -305,10 +331,13 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Res
 		return cfg.Strategy.Route(t.(RecTuple).Rec, n, buf)
 	})
 	// With one dispatcher arrival order is FIFO end to end; with several,
-	// skew is bounded by what can be in flight across dispatcher queues.
+	// skew is bounded by what can be in flight across dispatcher paths:
+	// each dispatcher can hold queueCap input batches plus one pending
+	// output batch per worker edge, all in units of batchSize tuples.
 	var slack uint64
 	if cfg.Dispatchers > 1 {
-		slack = uint64(cfg.Dispatchers)*uint64(queueCap) + 64
+		perDispatcher := uint64(queueCap+k+2) * uint64(batchSize)
+		slack = uint64(cfg.Dispatchers)*perDispatcher + 64
 	}
 	tp.AddBolt("worker", func(task int) stream.Bolt {
 		opts := local.Options{

@@ -438,3 +438,90 @@ func TestDistributedBiJoinMatchesLocal(t *testing.T) {
 		t.Fatal("degenerate test: no cross-side pairs")
 	}
 }
+
+// TestBatchSizeParity checks the E7-style equality contract of the batched
+// transport: every batch size (including 1 = unbatched and sizes larger
+// than any queue) must produce the identical result-pair set, and the
+// transport must report batch counts consistent with the tuple counts.
+func TestBatchSizeParity(t *testing.T) {
+	p := params(0.6)
+	recs := genStream(600, 17)
+	var want map[record.Pair]bool
+	for _, bs := range []int{1, 7, 64, 4096} {
+		for _, strat := range strategies(p, recs, 4) {
+			res, err := Run(recs, Config{
+				Workers:      4,
+				Strategy:     strat,
+				Algorithm:    local.Bundled,
+				Params:       p,
+				BatchSize:    bs,
+				CollectPairs: true,
+			})
+			if err != nil {
+				t.Fatalf("batch %d %s: %v", bs, strat.Name(), err)
+			}
+			got := make(map[record.Pair]bool)
+			for _, pr := range res.Pairs {
+				got[record.Pair{First: pr.First, Second: pr.Second}] = true
+			}
+			if want == nil {
+				want = got
+				if len(want) == 0 {
+					t.Fatal("degenerate test: no result pairs")
+				}
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("batch %d %s: got %d pairs want %d", bs, strat.Name(), len(got), len(want))
+			}
+			for pr := range want {
+				if !got[pr] {
+					t.Fatalf("batch %d %s: missing %v", bs, strat.Name(), pr)
+				}
+			}
+			batches := res.Report.EdgeBatches("dispatcher", "worker")
+			tuples := res.Report.EdgeTuples("dispatcher", "worker")
+			if batches == 0 || batches > tuples {
+				t.Fatalf("batch %d %s: implausible batch count %d for %d tuples",
+					bs, strat.Name(), batches, tuples)
+			}
+		}
+	}
+}
+
+// TestBatchedParallelDispatchersExact re-checks the reorder-buffer contract
+// under batching: parallel dispatchers magnify arrival skew by the batch
+// size, and the widened slack must still deliver exact results with zero
+// late drops.
+func TestBatchedParallelDispatchersExact(t *testing.T) {
+	p := params(0.6)
+	recs := genStream(800, 5)
+	want := bruteCount(recs, p, nil)
+	for _, bs := range []int{8, 64} {
+		for _, d := range []int{2, 4} {
+			res, err := Run(recs, Config{
+				Workers:      4,
+				Dispatchers:  d,
+				Strategy:     strategies(p, recs, 4)[0],
+				Algorithm:    local.Prefix,
+				Params:       p,
+				BatchSize:    bs,
+				QueueCap:     2, // tiny queues force batch-boundary skew
+				CollectPairs: true,
+			})
+			if err != nil {
+				t.Fatalf("batch %d d=%d: %v", bs, d, err)
+			}
+			if res.LateDrops != 0 {
+				t.Fatalf("batch %d d=%d: %d late drops", bs, d, res.LateDrops)
+			}
+			got := make(map[record.Pair]bool)
+			for _, pr := range res.Pairs {
+				got[record.Pair{First: pr.First, Second: pr.Second}] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("batch %d d=%d: got %d pairs want %d", bs, d, len(got), len(want))
+			}
+		}
+	}
+}
