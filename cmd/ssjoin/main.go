@@ -52,8 +52,16 @@ func main() {
 		pairs   = flag.Bool("pairs", false, "print result pairs")
 		asJSON  = flag.Bool("json", false, "print the run summary as JSON on stdout")
 		rmt     = flag.String("remote", "", "comma-separated ssjoinworker addresses; replaces the in-process engine")
+		monitor = flag.String("monitor", "", "comma-separated worker HTTP (-http) addresses: scrape /metrics, print a cluster table, exit")
 	)
 	flag.Parse()
+
+	if *monitor != "" {
+		if err := runMonitor(*monitor); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	recs, err := loadRecords(*in, *profile, *n, *seed)
 	if err != nil {
@@ -246,6 +254,16 @@ func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dis
 		len(conns), sum.Records, sum.Results, sum.Elapsed,
 		float64(sum.Records)/sum.Elapsed.Seconds(), sum.TuplesSent, sum.BytesSent)
 	return nil
+}
+
+// runMonitor scrapes each worker's /metrics endpoint (the HTTP address
+// given to ssjoinworker -http, not the TCP join port) and renders the
+// cluster status table.
+func runMonitor(addrList string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sts := remote.ScrapeCluster(ctx, nil, strings.Split(addrList, ","), 0)
+	return remote.ClusterTable(os.Stdout, sts)
 }
 
 func fatal(err error) {

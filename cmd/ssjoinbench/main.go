@@ -5,45 +5,53 @@
 //	ssjoinbench -records 50000 -workers 8 -seed 7
 //	ssjoinbench -batch 1        # disable transport micro-batching
 //	ssjoinbench -json out.json  # machine-readable results
+//	ssjoinbench -http :8080     # live /metrics, /debug/traces, /debug/pprof
+//	ssjoinbench -trace 1024     # sample one tuple lineage per 1024 tuples
 //	ssjoinbench -list           # inventory
 //
 // Output is aligned text, one table per experiment, matching the
 // per-experiment index in EXPERIMENTS.md. With -json, the same tables are
 // additionally written to a JSON file together with per-experiment wall
-// time and allocation counts, for benchmark tracking across commits.
+// time, allocation counts, and a metrics-registry snapshot, for benchmark
+// tracking across commits.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // runRecord is one experiment's table plus measurement metadata, the unit
 // of the -json report.
 type runRecord struct {
-	ID              string     `json:"id"`
-	Title           string     `json:"title"`
-	ElapsedSec      float64    `json:"elapsed_sec"`
-	AllocsPerRecord float64    `json:"allocs_per_record"`
-	Columns         []string   `json:"columns"`
-	Rows            [][]string `json:"rows"`
-	Notes           string     `json:"notes,omitempty"`
+	ID              string               `json:"id"`
+	Title           string               `json:"title"`
+	ElapsedSec      float64              `json:"elapsed_sec"`
+	AllocsPerRecord float64              `json:"allocs_per_record"`
+	Columns         []string             `json:"columns"`
+	Rows            [][]string           `json:"rows"`
+	Notes           string               `json:"notes,omitempty"`
+	Metrics         []obs.MetricSnapshot `json:"metrics,omitempty"`
 }
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {
-	Records     int         `json:"records"`
-	Workers     int         `json:"workers"`
-	Seed        int64       `json:"seed"`
-	Batch       int         `json:"batch"`
-	Experiments []runRecord `json:"experiments"`
+	Records       int         `json:"records"`
+	Workers       int         `json:"workers"`
+	Seed          int64       `json:"seed"`
+	Batch         int         `json:"batch"`
+	TraceEvery    int         `json:"trace_every,omitempty"`
+	TracesSampled uint64      `json:"traces_sampled,omitempty"`
+	Experiments   []runRecord `json:"experiments"`
 }
 
 func main() {
@@ -58,6 +66,8 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		jsonOut = flag.String("json", "", "also write machine-readable results to this file")
+		httpAd  = flag.String("http", "", "serve /metrics, /debug/traces, and /debug/pprof on this address during the run")
+		traceN  = flag.Int("trace", 0, "sample one tuple lineage every N tuples (0 = tracing off)")
 	)
 	flag.Parse()
 
@@ -96,6 +106,33 @@ func main() {
 		scale.Batch = *batch
 	}
 
+	// Observability is opt-in: the registry (and the per-run instrumentation
+	// it switches on inside the engine) only exists when something will
+	// consume it, so plain benchmark runs keep the uninstrumented hot path.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if *traceN > 0 {
+		tracer = obs.NewTracer(*traceN, 256)
+	}
+	if *jsonOut != "" || *httpAd != "" || tracer != nil {
+		reg = obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+		scale.Registry = reg
+		scale.Tracer = tracer
+	}
+	if *httpAd != "" {
+		srv := &http.Server{Addr: *httpAd, Handler: obs.NewDebugMux(reg, tracer)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "ssjoinbench: debug server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ssjoinbench: serving /metrics, /debug/traces, /debug/pprof on %s\n", *httpAd)
+	}
+
 	var runs []experiments.Experiment
 	if *expID != "" {
 		e, err := experiments.ByID(*expID)
@@ -118,6 +155,12 @@ func main() {
 	}
 	var ms runtime.MemStats
 	for _, e := range runs {
+		if reg != nil {
+			// Fresh registry per experiment so each -json entry snapshots
+			// only its own run; process metrics are re-bound after the wipe.
+			reg.Reset()
+			obs.RegisterProcessMetrics(reg)
+		}
 		runtime.ReadMemStats(&ms)
 		mallocsBefore := ms.Mallocs
 		start := time.Now()
@@ -131,7 +174,7 @@ func main() {
 			fmt.Print(tab.Format())
 			fmt.Printf("(%v)\n\n", elapsed.Round(time.Millisecond))
 		}
-		report.Experiments = append(report.Experiments, runRecord{
+		rec := runRecord{
 			ID:              tab.ID,
 			Title:           tab.Title,
 			ElapsedSec:      elapsed.Seconds(),
@@ -139,7 +182,18 @@ func main() {
 			Columns:         tab.Columns,
 			Rows:            tab.Rows,
 			Notes:           tab.Notes,
-		})
+		}
+		if reg != nil {
+			rec.Metrics = reg.Snapshot()
+		}
+		report.Experiments = append(report.Experiments, rec)
+	}
+	if tracer != nil {
+		report.TraceEvery = *traceN
+		report.TracesSampled = tracer.Sampled()
+		if *format == "text" {
+			fmt.Printf("traces sampled: %d (1 per %d tuples)\n", tracer.Sampled(), *traceN)
+		}
 	}
 
 	if *jsonOut != "" {

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/remote"
 )
 
@@ -35,7 +36,7 @@ func main() {
 func run() int {
 	var (
 		listen   = flag.String("listen", ":7401", "TCP address to listen on")
-		httpAddr = flag.String("http", "", "optional HTTP address serving /healthz and /stats")
+		httpAddr = flag.String("http", "", "optional HTTP address serving /healthz, /stats, /metrics, /debug/traces, and /debug/pprof")
 	)
 	flag.Parse()
 
@@ -51,7 +52,14 @@ func run() int {
 	var mon remote.Monitor
 	monDone := make(chan struct{})
 	if *httpAddr != "" {
-		srv := &http.Server{Addr: *httpAddr, Handler: mon.Handler()}
+		reg := obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+		mon.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/healthz", mon.Handler())
+		mux.Handle("/stats", mon.Handler())
+		obs.AttachDebug(mux, reg, nil)
+		srv := &http.Server{Addr: *httpAddr, Handler: mux}
 		go func() {
 			defer close(monDone)
 			log.Printf("ssjoinworker: monitoring on http://%s/stats", *httpAddr)

@@ -1,6 +1,8 @@
 package bundle
 
 import (
+	"sync/atomic"
+
 	"repro/internal/filter"
 	"repro/internal/record"
 	"repro/internal/similarity"
@@ -95,6 +97,7 @@ type Index struct {
 	nextID uint64
 
 	stats Stats
+	live  *LiveStats // optional atomic mirror, see PublishLive
 
 	// probe scratch
 	seen map[uint64]struct{}
@@ -127,6 +130,36 @@ func (bx *Index) Stats() Stats {
 	s := bx.stats
 	s.LiveMembers = uint64(len(bx.fifo) - bx.head)
 	return s
+}
+
+// LiveStats mirrors the headline Stats counters in atomics so a scrape
+// goroutine can read them while the single-writer worker is mid-stream.
+// The Index publishes into it once per processed record — the full Stats
+// struct stays unsynchronized and is only safe to read after the run.
+type LiveStats struct {
+	Records    atomic.Uint64
+	Candidates atomic.Uint64
+	Verified   atomic.Uint64
+	Results    atomic.Uint64
+	Members    atomic.Uint64
+}
+
+// PublishLive makes the index mirror its counters into ls after every
+// processed record. Pass nil to stop publishing.
+func (bx *Index) PublishLive(ls *LiveStats) { bx.live = ls }
+
+// publish refreshes the live mirror (no-op unless PublishLive was called).
+// It runs once per probe — the one operation every per-record path (Step,
+// Process, Load) performs exactly once — so Records counts probes.
+func (bx *Index) publish() {
+	if bx.live == nil {
+		return
+	}
+	bx.live.Records.Add(1)
+	bx.live.Candidates.Store(bx.stats.MemberChecks)
+	bx.live.Verified.Store(bx.stats.Verified)
+	bx.live.Results.Store(bx.stats.Results)
+	bx.live.Members.Store(uint64(len(bx.fifo) - bx.head))
 }
 
 // Process runs one full streaming step for r: evict expired members, probe
@@ -209,6 +242,7 @@ func (bx *Index) Probe(r *record.Record, emit func(Match)) (best Insertion, ok b
 	for id := range bx.seen {
 		delete(bx.seen, id)
 	}
+	bx.publish()
 	return best, ok
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/filter"
 	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/record"
 	"repro/internal/similarity"
@@ -27,6 +28,12 @@ type Scale struct {
 	// Batch is the transport batch size for distributed runs: 0 uses the
 	// engine default (stream.DefaultBatchSize), 1 disables batching.
 	Batch int
+	// Registry, when set, receives live metrics from every topology run an
+	// experiment performs (ssjoinbench -http / -json).
+	Registry *obs.Registry
+	// Tracer, when set and enabled, samples tuple lineages during runs
+	// (ssjoinbench -trace N).
+	Tracer *obs.Tracer
 }
 
 // DefaultScale is the CLI default.
@@ -120,6 +127,8 @@ func runTopology(sc Scale, recs []*record.Record, strat dispatch.Strategy, p fil
 		Params:    p,
 		Window:    win,
 		BatchSize: sc.Batch,
+		Registry:  sc.Registry,
+		Tracer:    sc.Tracer,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: topology run failed: %v", err))

@@ -176,6 +176,7 @@ func All() []*Analyzer {
 		WireCheck,
 		CtxCheck,
 		DetCheck,
+		ObsCheck,
 	}
 }
 

@@ -20,6 +20,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{WireCheck, "wirecheck"},
 		{CtxCheck, "ctxcheck"},
 		{DetCheck, "detcheck"},
+		{ObsCheck, "obscheck"},
 	}
 	for _, c := range cases {
 		c := c
@@ -40,7 +41,7 @@ func TestFixturesAreKnownBad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dirs) < 5 {
+	if len(dirs) < 6 {
 		t.Fatalf("expected a fixture dir per analyzer, found %d", len(dirs))
 	}
 	for _, d := range dirs {
@@ -64,7 +65,7 @@ func TestFixturesAreKnownBad(t *testing.T) {
 // TestByName checks suite lookup and the unknown-analyzer error.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
+	if err != nil || len(all) != 6 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("lockcheck, detcheck")

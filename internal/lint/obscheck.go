@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObsCheck keeps the metrics namespace scrapeable. Every family registered
+// through an obs.Registry constructor (Counter, Gauge, Histogram, their
+// *Func and *Vec variants) ends up on /metrics, where the name is the
+// dashboard contract and the help string is the only documentation a
+// scraper sees. The check therefore requires, at every registration call
+// site whose arguments are compile-time constants:
+//
+//   - a snake_case metric name ([a-z][a-z0-9_]*) — the registry rejects
+//     other names at runtime, but only on the code path that registers
+//     them, which for rarely-exercised gauges can be long after merge;
+//   - non-blank help text, so `# HELP` lines never ship empty.
+//
+// Names or help strings computed at runtime are out of static reach and
+// pass unexamined; the registry's own validation remains the backstop.
+var ObsCheck = &Analyzer{
+	Name: "obscheck",
+	Doc:  "metrics registered on an obs.Registry need snake_case names and non-empty help",
+	Run:  runObsCheck,
+}
+
+// obsRegistryMethods are the Registry constructors that mint families.
+var obsRegistryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true, "HistogramFunc": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+var obsNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runObsCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !obsRegistryMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isObsRegistryMethod(fn) || len(call.Args) < 2 {
+				return true
+			}
+			if name, ok := constString(pass, call.Args[0]); ok && !obsNameRe.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q is not snake_case: names must match [a-z][a-z0-9_]*", name)
+			}
+			if help, ok := constString(pass, call.Args[1]); ok && strings.TrimSpace(help) == "" {
+				pass.Reportf(call.Args[1].Pos(),
+					"metric registered without help text: the help string is the family's only documentation on /metrics")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRegistryMethod reports whether fn is a method on a named type
+// Registry declared in a package named obs (matching by package name, not
+// import path, so the fixture's local stand-in type is covered too).
+func isObsRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

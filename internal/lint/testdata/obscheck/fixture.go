@@ -1,0 +1,51 @@
+// Package obs (fixture) exercises obscheck: families registered on a
+// Registry must carry snake_case names and non-empty help text. The
+// Registry below mirrors internal/obs's constructor surface just enough
+// for the receiver-type match (named type Registry in a package named
+// obs); the fixture loader type-checks against the standard library only,
+// so the real package cannot be imported here.
+package obs
+
+// Counter is a stand-in family handle.
+type Counter struct{ v uint64 }
+
+// Gauge is a stand-in family handle.
+type Gauge struct{ v uint64 }
+
+// Registry is the stand-in for internal/obs.Registry.
+type Registry struct{}
+
+// Counter mimics the real get-or-create constructor.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge mimics the real get-or-create constructor.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// CounterFunc mimics the callback-backed constructor.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {}
+
+// GaugeVec mimics the labeled-family constructor.
+func (r *Registry) GaugeVec(name, help, label string) *Gauge { return &Gauge{} }
+
+const depthHelp = "queued batches per edge"
+
+func wire(r *Registry) {
+	r.Counter("tuples_total", "tuples shipped downstream") // compliant
+	r.Counter("TuplesTotal", "tuples shipped downstream")  // want "not snake_case"
+	r.Gauge("queue-depth", depthHelp)                      // want "not snake_case"
+	r.Gauge("queue_depth", "")                             // want "without help text"
+	r.GaugeVec("edge_depth", "   ", "edge")                // want "without help text"
+	r.CounterFunc("9lives", "cats remaining", func() float64 { return 9 }) // want "not snake_case"
+
+	// Runtime-computed names are beyond static reach; the registry's own
+	// validation is the backstop.
+	dyn := pick()
+	r.Counter(dyn, "whatever the caller chose")
+
+	//lint:ignore obscheck legacy dashboard name predates the convention
+	r.Counter("Legacy-Name", "kept for dashboard continuity")
+}
+
+func pick() string { return "chosen_at_runtime" }
+
+var _ = wire

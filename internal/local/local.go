@@ -336,6 +336,10 @@ func (b *bundledJoiner) Size() int    { return int(b.bx.Stats().LiveMembers) }
 // experiments; it is only present on the Bundled joiner.
 func (b *bundledJoiner) BundleStats() bundle.Stats { return b.bx.Stats() }
 
+// PublishLive makes the bundle index mirror its counters into ls after
+// every record, for live scraping; only present on the Bundled joiner.
+func (b *bundledJoiner) PublishLive(ls *bundle.LiveStats) { b.bx.PublishLive(ls) }
+
 // Dump implements Joiner.
 func (b *bundledJoiner) Dump(visit func(*record.Record) bool) { b.bx.Dump(visit) }
 

@@ -98,6 +98,43 @@ func (l *Latency) Quantile(q float64) time.Duration {
 	return l.max
 }
 
+// Bucket is one log2 histogram bucket: Count observations with durations
+// in [Lo, Hi). Buckets returns them so callers can render the histogram in
+// external formats (e.g. Prometheus text exposition) without losing the
+// information Quantile interpolates over.
+type Bucket struct {
+	Lo, Hi time.Duration
+	Count  uint64
+}
+
+// Buckets returns the non-empty buckets in ascending bound order. The
+// bounds follow the internal log2 layout: bucket b covers [2^b, 2^(b+1))
+// nanoseconds, except the first (which starts at 0) and the last (whose
+// upper bound saturates at the maximum Duration). Summing the counts
+// reproduces Count(), and a quantile computed by interpolating inside these
+// buckets agrees with Quantile up to the shared bucket resolution.
+func (l *Latency) Buckets() []Bucket {
+	var out []Bucket
+	for b, n := range l.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := time.Duration(uint64(1) << uint(b))
+		if b == 0 {
+			lo = 0
+		}
+		hi := time.Duration(math.MaxInt64)
+		if b < 62 { // 1<<63 would overflow int64
+			hi = time.Duration(uint64(1) << uint(b+1))
+		}
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: n})
+	}
+	return out
+}
+
+// Sum returns the total of all observed durations.
+func (l *Latency) Sum() time.Duration { return l.sum }
+
 // Merge adds the contents of other into l.
 func (l *Latency) Merge(other *Latency) {
 	for i, n := range other.buckets {

@@ -153,3 +153,76 @@ func TestSyncLatencyConcurrentObservers(t *testing.T) {
 		t.Fatal("snapshot aliases live histogram")
 	}
 }
+
+// TestBucketsRoundTrip rebuilds a quantile estimate from the exported
+// bucket bounds and checks it agrees with Quantile itself — the exposition
+// layer depends on Buckets() carrying the same information.
+func TestBucketsRoundTrip(t *testing.T) {
+	var l Latency
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		l.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+	}
+	bs := l.Buckets()
+	if len(bs) == 0 {
+		t.Fatal("no buckets")
+	}
+	var total uint64
+	var sum time.Duration
+	prevHi := time.Duration(-1)
+	for _, b := range bs {
+		if b.Count == 0 {
+			t.Fatalf("empty bucket exported: %+v", b)
+		}
+		if b.Hi <= b.Lo {
+			t.Fatalf("bucket bounds inverted: %+v", b)
+		}
+		if b.Lo < prevHi {
+			t.Fatalf("buckets out of order: lo %v after hi %v", b.Lo, prevHi)
+		}
+		prevHi = b.Hi
+		total += b.Count
+	}
+	if total != l.Count() {
+		t.Fatalf("bucket counts sum to %d, observations %d", total, l.Count())
+	}
+	if sum = l.Sum(); sum <= 0 {
+		t.Fatalf("sum: %v", sum)
+	}
+	if got, want := time.Duration(float64(sum)/float64(total)), l.Mean(); got != want {
+		t.Fatalf("mean from Sum/Count %v != Mean %v", got, want)
+	}
+	// Interpolate quantiles from the exported buckets exactly the way
+	// Quantile does internally, and require agreement within one bucket.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		want := l.Quantile(q)
+		rank := q * float64(total)
+		var seen float64
+		var got time.Duration
+		for _, b := range bs {
+			if seen+float64(b.Count) >= rank {
+				frac := (rank - seen) / float64(b.Count)
+				got = b.Lo + time.Duration(frac*float64(b.Hi-b.Lo))
+				break
+			}
+			seen += float64(b.Count)
+		}
+		// Same log2 bucket: got and want must share a bucket's range.
+		lo, hi := got, want
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 2*lo+1 {
+			t.Fatalf("q=%v: bucket estimate %v vs Quantile %v disagree beyond one bucket", q, got, want)
+		}
+	}
+}
+
+func TestBucketsSaturatingBound(t *testing.T) {
+	var l Latency
+	l.Observe(time.Duration(math.MaxInt64))
+	bs := l.Buckets()
+	if len(bs) != 1 || bs[len(bs)-1].Hi != time.Duration(math.MaxInt64) {
+		t.Fatalf("top bucket: %+v", bs)
+	}
+}

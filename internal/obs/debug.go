@@ -1,0 +1,84 @@
+// Live introspection endpoints. AttachDebug mounts the observability
+// surface onto any mux: /metrics (Prometheus text exposition),
+// /debug/traces (recent sampled tuple lineages as JSON), and the standard
+// net/http/pprof handlers under /debug/pprof/. Both ssjoinworker and
+// ssjoinbench serve this mux, and the coordinator's cluster table scrapes
+// /metrics.
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// AttachDebug mounts /metrics, /debug/traces, and /debug/pprof/* on mux.
+// reg may not be nil; tracer may be nil (traces endpoint serves an empty
+// list).
+func AttachDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		reg.WriteExposition(w) //nolint:errcheck — best effort over HTTP
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		limit := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			limit, _ = strconv.Atoi(s)
+		}
+		traces := tracer.Recent()
+		if limit > 0 && limit < len(traces) {
+			traces = traces[:limit]
+		}
+		if traces == nil {
+			traces = []TraceSnapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct { //nolint:errcheck — best effort over HTTP
+			Sampled uint64          `json:"sampled_total"`
+			Traces  []TraceSnapshot `json:"traces"`
+		}{Sampled: tracer.Sampled(), Traces: traces})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewDebugMux returns a fresh mux with the debug surface mounted.
+func NewDebugMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	AttachDebug(mux, reg, tracer)
+	return mux
+}
+
+// RegisterProcessMetrics adds process-wide runtime gauges (goroutines,
+// heap, GC, uptime) to reg. All readings happen at scrape time.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("process_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("process_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("process_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+}

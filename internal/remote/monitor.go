@@ -3,35 +3,60 @@ package remote
 import (
 	"encoding/json"
 	"net/http"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Monitor aggregates worker-process counters and serves them over HTTP —
 // the operational surface a deployed worker needs. Wire it with
-// ServeWorkerMonitored and mount Handler on any mux.
+// ServeWorkerMonitored and mount Handler on any mux; RegisterMetrics
+// additionally exposes everything through an obs.Registry for /metrics
+// scraping and the coordinator's cluster table.
 type Monitor struct {
 	SessionsStarted  atomic.Uint64
 	SessionsFinished atomic.Uint64
 	SessionsFailed   atomic.Uint64
 	RecordsSeen      atomic.Uint64
 	ResultsEmitted   atomic.Uint64
+	// InFlightRecords counts records currently being processed across all
+	// sessions — the worker's instantaneous queue depth.
+	InFlightRecords atomic.Int64
 	// SessionLatency tracks wall time per completed session (failures
 	// included).
 	SessionLatency metrics.SyncLatency
+	// RecordLatency tracks per-record processing time (read to step
+	// completion) across sessions.
+	RecordLatency metrics.SyncLatency
+
+	// rate state for Load, guarded by rateMu.
+	rateMu    sync.Mutex
+	lastCount uint64    // guarded by rateMu
+	lastTime  time.Time // guarded by rateMu
 }
 
-// snapshot is the JSON shape of /stats.
-type snapshot struct {
-	SessionsStarted  uint64 `json:"sessions_started"`
-	SessionsFinished uint64 `json:"sessions_finished"`
-	SessionsFailed   uint64 `json:"sessions_failed"`
-	SessionsActive   uint64 `json:"sessions_active"`
-	RecordsSeen      uint64 `json:"records_seen"`
-	ResultsEmitted   uint64 `json:"results_emitted"`
-	SessionUsP50     uint64 `json:"session_us_p50"`
-	SessionUsP99     uint64 `json:"session_us_p99"`
+// Load returns the record throughput (records/second) since the previous
+// Load call — a scrape-to-scrape rate gauge. The first call primes the
+// window and returns 0.
+func (m *Monitor) Load() float64 {
+	m.rateMu.Lock()
+	defer m.rateMu.Unlock()
+	now := time.Now()
+	count := m.RecordsSeen.Load()
+	if m.lastTime.IsZero() {
+		m.lastTime, m.lastCount = now, count
+		return 0
+	}
+	dt := now.Sub(m.lastTime).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	rate := float64(count-m.lastCount) / dt
+	m.lastTime, m.lastCount = now, count
+	return rate
 }
 
 // Snapshot returns the current counter values. Session latency quantiles
@@ -41,6 +66,11 @@ func (m *Monitor) Snapshot() map[string]uint64 {
 	finished := m.SessionsFinished.Load()
 	failed := m.SessionsFailed.Load()
 	lat := m.SessionLatency.Snapshot()
+	rlat := m.RecordLatency.Snapshot()
+	inflight := m.InFlightRecords.Load()
+	if inflight < 0 {
+		inflight = 0
+	}
 	return map[string]uint64{
 		"sessions_started":  started,
 		"sessions_finished": finished,
@@ -48,34 +78,66 @@ func (m *Monitor) Snapshot() map[string]uint64 {
 		"sessions_active":   started - finished - failed,
 		"records_seen":      m.RecordsSeen.Load(),
 		"results_emitted":   m.ResultsEmitted.Load(),
+		"inflight_records":  uint64(inflight),
 		"session_us_p50":    uint64(lat.Quantile(0.5).Microseconds()),
 		"session_us_p99":    uint64(lat.Quantile(0.99).Microseconds()),
+		"record_us_p50":     uint64(rlat.Quantile(0.5).Microseconds()),
+		"record_us_p99":     uint64(rlat.Quantile(0.99).Microseconds()),
 	}
 }
 
-// Handler serves GET /stats (JSON counters) and GET /healthz ("ok").
+// RegisterMetrics exposes the monitor through reg: the session/record
+// counters, the in-flight queue-depth gauge, the scrape-to-scrape load
+// gauge, and the latency histograms the cluster table reads p50/p99 from.
+func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("worker_sessions_started_total",
+		"Join sessions accepted by this worker.",
+		func() float64 { return float64(m.SessionsStarted.Load()) })
+	reg.CounterFunc("worker_sessions_finished_total",
+		"Join sessions completed without error.",
+		func() float64 { return float64(m.SessionsFinished.Load()) })
+	reg.CounterFunc("worker_sessions_failed_total",
+		"Join sessions ended with an error.",
+		func() float64 { return float64(m.SessionsFailed.Load()) })
+	reg.CounterFunc("worker_records_total",
+		"Records received across all sessions.",
+		func() float64 { return float64(m.RecordsSeen.Load()) })
+	reg.CounterFunc("worker_results_total",
+		"Result pairs emitted across all sessions.",
+		func() float64 { return float64(m.ResultsEmitted.Load()) })
+	reg.GaugeFunc("worker_inflight_records",
+		"Records currently being processed — the worker's queue depth.",
+		func() float64 {
+			n := m.InFlightRecords.Load()
+			if n < 0 {
+				n = 0
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("worker_load",
+		"Record throughput (records/second) since the previous scrape.",
+		m.Load)
+	reg.HistogramFunc("worker_session_seconds",
+		"Wall time per completed join session.",
+		m.SessionLatency.Snapshot)
+	reg.HistogramFunc("worker_record_seconds",
+		"Per-record processing time, frame read to step completion.",
+		m.RecordLatency.Snapshot)
+}
+
+// Handler serves GET /stats (JSON counters, keys sorted) and GET /healthz
+// ("ok").
 func (m *Monitor) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n")) //nolint:errcheck
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-		started := m.SessionsStarted.Load()
-		finished := m.SessionsFinished.Load()
-		failed := m.SessionsFailed.Load()
-		lat := m.SessionLatency.Snapshot()
-		s := snapshot{
-			SessionsStarted:  started,
-			SessionsFinished: finished,
-			SessionsFailed:   failed,
-			SessionsActive:   started - finished - failed,
-			RecordsSeen:      m.RecordsSeen.Load(),
-			ResultsEmitted:   m.ResultsEmitted.Load(),
-			SessionUsP50:     uint64(lat.Quantile(0.5).Microseconds()),
-			SessionUsP99:     uint64(lat.Quantile(0.99).Microseconds()),
-		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(s); err != nil {
+		// Snapshot returns a map; encoding/json emits map keys in sorted
+		// order, so scrapes diff cleanly.
+		if err := json.NewEncoder(w).Encode(m.Snapshot()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

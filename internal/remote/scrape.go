@@ -1,0 +1,139 @@
+// Cluster-wide observability: the coordinator scrapes each worker's
+// /metrics endpoint (Prometheus text exposition, parsed with
+// obs.ParseExposition) and renders one table row per worker — queue depth,
+// load, and p50/p99 record latency recomputed from the scraped histogram
+// buckets. No metrics dependency crosses the wire; the exposition text is
+// the whole contract.
+package remote
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WorkerStatus is one worker's scraped headline state.
+type WorkerStatus struct {
+	Addr string
+	Up   bool
+	Err  error
+	// QueueDepth is worker_inflight_records: records mid-processing.
+	QueueDepth float64
+	// Load is worker_load: records/second since the worker's previous
+	// scrape.
+	Load float64
+	// Records and Results are lifetime totals.
+	Records float64
+	Results float64
+	// SessionsActive is started - finished - failed.
+	SessionsActive float64
+	// P50Us and P99Us are record-latency quantiles in microseconds,
+	// recomputed from the scraped worker_record_seconds buckets.
+	P50Us float64
+	P99Us float64
+}
+
+// ScrapeWorker fetches base's /metrics endpoint and parses the exposition
+// text. base is a host:port or URL prefix ("worker-3:8080" or
+// "http://worker-3:8080").
+func ScrapeWorker(ctx context.Context, client *http.Client, base string) (obs.ParsedMetrics, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote: scraping %s: HTTP %d", req.URL, resp.StatusCode)
+	}
+	return obs.ParseExposition(resp.Body)
+}
+
+// StatusFrom extracts the cluster-table row from one worker's scrape.
+func StatusFrom(addr string, pm obs.ParsedMetrics) WorkerStatus {
+	st := WorkerStatus{Addr: addr, Up: true}
+	st.QueueDepth = pm.Value("worker_inflight_records", 0)
+	st.Load = pm.Value("worker_load", 0)
+	st.Records = pm.Value("worker_records_total", 0)
+	st.Results = pm.Value("worker_results_total", 0)
+	started := pm.Value("worker_sessions_started_total", 0)
+	st.SessionsActive = started -
+		pm.Value("worker_sessions_finished_total", 0) -
+		pm.Value("worker_sessions_failed_total", 0)
+	if fam := pm["worker_record_seconds_bucket"]; fam != nil {
+		st.P50Us = obs.HistogramQuantile(fam.Samples, 0.5) * 1e6
+		st.P99Us = obs.HistogramQuantile(fam.Samples, 0.99) * 1e6
+	}
+	return st
+}
+
+// ScrapeCluster scrapes every address concurrently and returns one status
+// per worker, in input order. Unreachable workers come back with Up=false
+// and the scrape error; the table still renders them.
+func ScrapeCluster(ctx context.Context, client *http.Client, addrs []string, timeout time.Duration) []WorkerStatus {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	out := make([]WorkerStatus, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			pm, err := ScrapeWorker(sctx, client, addr)
+			if err != nil {
+				out[i] = WorkerStatus{Addr: addr, Err: err}
+				return
+			}
+			out[i] = StatusFrom(addr, pm)
+		}(i, addr)
+	}
+	wg.Wait()
+	return out
+}
+
+// ClusterTable renders worker statuses as an aligned table with a totals
+// row, sorted by address for stable output.
+func ClusterTable(w io.Writer, sts []WorkerStatus) error {
+	sorted := append([]WorkerStatus(nil), sts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKER\tUP\tQUEUE\tLOAD r/s\tRECORDS\tRESULTS\tACTIVE\tP50 us\tP99 us")
+	var tot WorkerStatus
+	for _, st := range sorted {
+		if !st.Up {
+			fmt.Fprintf(tw, "%s\tdown\t-\t-\t-\t-\t-\t-\t-\n", st.Addr)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\tup\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			st.Addr, st.QueueDepth, st.Load, st.Records, st.Results,
+			st.SessionsActive, st.P50Us, st.P99Us)
+		tot.QueueDepth += st.QueueDepth
+		tot.Load += st.Load
+		tot.Records += st.Records
+		tot.Results += st.Results
+		tot.SessionsActive += st.SessionsActive
+	}
+	fmt.Fprintf(tw, "TOTAL\t\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t\t\n",
+		tot.QueueDepth, tot.Load, tot.Records, tot.Results, tot.SessionsActive)
+	return tw.Flush()
+}

@@ -1,0 +1,137 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMonitorHandlerContentTypes pins the HTTP contract: /healthz and
+// /stats declare their media types, and /stats renders keys in sorted
+// order so scrapes diff cleanly.
+func TestMonitorHandlerContentTypes(t *testing.T) {
+	var mon Monitor
+	mon.SessionsStarted.Add(2)
+	mon.SessionsFinished.Add(2)
+	mon.RecordsSeen.Add(10)
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("healthz content type: %q", ct)
+	}
+	if string(body) != "ok\n" {
+		t.Fatalf("healthz body: %q", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("stats content type: %q", ct)
+	}
+	// Keys must appear in sorted order in the raw JSON text.
+	var prev string
+	rest := string(raw)
+	for {
+		i := strings.IndexByte(rest, '"')
+		if i < 0 {
+			break
+		}
+		rest = rest[i+1:]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			break
+		}
+		key := rest[:j]
+		rest = rest[j+1:]
+		if prev != "" && key < prev {
+			t.Fatalf("stats keys out of order: %q after %q in %s", key, prev, raw)
+		}
+		prev = key
+	}
+	if !strings.Contains(string(raw), `"records_seen":10`) {
+		t.Fatalf("stats body: %s", raw)
+	}
+}
+
+// TestScrapeWorkerAndClusterTable stands up a worker-style debug mux with
+// the monitor registered, scrapes it over HTTP, and checks the status row
+// and rendered table.
+func TestScrapeWorkerAndClusterTable(t *testing.T) {
+	var mon Monitor
+	mon.SessionsStarted.Add(3)
+	mon.SessionsFinished.Add(2)
+	mon.RecordsSeen.Add(1000)
+	mon.ResultsEmitted.Add(40)
+	mon.InFlightRecords.Add(5)
+	for i := 0; i < 100; i++ {
+		mon.RecordLatency.Observe(2 * time.Millisecond)
+	}
+	reg := obs.NewRegistry()
+	mon.RegisterMetrics(reg)
+	srv := httptest.NewServer(obs.NewDebugMux(reg, nil))
+	defer srv.Close()
+
+	pm, err := ScrapeWorker(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := StatusFrom(srv.URL, pm)
+	if !st.Up || st.Records != 1000 || st.Results != 40 || st.QueueDepth != 5 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.SessionsActive != 1 {
+		t.Fatalf("active sessions: %+v", st)
+	}
+	// All observations are 2ms; the log2-bucketed quantile must land within
+	// one bucket of that (2-4ms).
+	if st.P50Us < 1000 || st.P50Us > 5000 {
+		t.Fatalf("p50: %+v", st)
+	}
+
+	sts := ScrapeCluster(context.Background(), srv.Client(),
+		[]string{srv.URL, "127.0.0.1:1"}, time.Second)
+	if len(sts) != 2 || !sts[0].Up || sts[1].Up || sts[1].Err == nil {
+		t.Fatalf("cluster: %+v", sts)
+	}
+
+	var buf bytes.Buffer
+	if err := ClusterTable(&buf, sts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "down") || !strings.Contains(out, "1000") ||
+		!strings.Contains(out, "TOTAL") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+// TestMonitorLoadRate checks the scrape-to-scrape throughput gauge.
+func TestMonitorLoadRate(t *testing.T) {
+	var mon Monitor
+	if mon.Load() != 0 {
+		t.Fatal("first Load() should prime and return 0")
+	}
+	mon.RecordsSeen.Add(500)
+	time.Sleep(20 * time.Millisecond)
+	rate := mon.Load()
+	if rate <= 0 {
+		t.Fatalf("rate: %v", rate)
+	}
+}

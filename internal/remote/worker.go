@@ -184,13 +184,20 @@ func HandleSessionMonitored(ctx context.Context, r io.Reader, w io.Writer, mon *
 			if err != nil {
 				return err
 			}
+			var rstart time.Time
 			if mon != nil {
 				mon.RecordsSeen.Add(1)
+				mon.InFlightRecords.Add(1)
+				rstart = time.Now()
 			}
 			if bi != nil {
 				bi.StepSide(rt.Rec, rt.Right, rt.Store, emit(rt.Rec))
 			} else {
 				joiner.Step(rt.Rec, rt.Store, emit(rt.Rec))
+			}
+			if mon != nil {
+				mon.RecordLatency.Observe(time.Since(rstart))
+				mon.InFlightRecords.Add(-1)
 			}
 			if writeErr != nil {
 				return fmt.Errorf("remote: writing result: %w", writeErr)

@@ -16,6 +16,10 @@ import (
 // nothing.
 type batch struct {
 	items []Tuple
+	// enq is the batch's creation time, stamped only on instrumented runs
+	// (edgeOut.stamp) so the consumer can observe the batch's age at
+	// dequeue. Zero on uninstrumented runs.
+	enq time.Time
 }
 
 // taskRun is one executor: a task instance with its input queue and output
@@ -33,6 +37,7 @@ type taskRun struct {
 	counters *TaskCounters
 	bolt     Bolt
 	spout    Spout
+	obs      *taskObs // nil unless the run has a registry attached
 }
 
 // edgeOut is one producer task's view of a downstream subscription. It owns
@@ -46,6 +51,7 @@ type edgeOut struct {
 	dests     []*taskRun
 	counters  *EdgeCounters
 	batchSize int
+	stamp     bool     // instrumented run: stamp batch creation time
 	pending   []*batch // one accumulating batch per destination, nil when empty
 }
 
@@ -55,6 +61,9 @@ func (o *edgeOut) send(d int, t Tuple, pool *sync.Pool) {
 	b := o.pending[d]
 	if b == nil {
 		b = pool.Get().(*batch)
+		if o.stamp {
+			b.enq = time.Now()
+		}
 		o.pending[d] = b
 	}
 	b.items = append(b.items, t)
@@ -208,6 +217,10 @@ func (tp *Topology) Run() (*Report, error) {
 		}
 	}
 
+	if tp.reg != nil {
+		tp.registerMetrics(report, tasks)
+	}
+
 	start := time.Now()
 	var (
 		wg  sync.WaitGroup
@@ -306,6 +319,14 @@ func (t *taskRun) loop() {
 		}
 	} else {
 		for b := range t.in {
+			var pstart time.Time
+			if t.obs != nil {
+				if !b.enq.IsZero() {
+					t.obs.wait.Observe(time.Since(b.enq))
+					b.enq = time.Time{}
+				}
+				pstart = time.Now()
+			}
 			for i, tu := range b.items {
 				b.items[i] = nil // drop the ref so pooled batches don't pin tuples
 				t.counters.Executed.Add(1)
@@ -313,6 +334,9 @@ func (t *taskRun) loop() {
 			}
 			b.items = b.items[:0]
 			t.pool.Put(b)
+			if t.obs != nil {
+				t.obs.process.Observe(time.Since(pstart))
+			}
 		}
 		if f, ok := t.bolt.(Flusher); ok {
 			f.Flush(em)

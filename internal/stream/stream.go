@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Tuple is anything that can flow along an edge. SizeBytes approximates the
@@ -161,6 +163,7 @@ type Topology struct {
 	comps     map[string]*component
 	order     []string
 	err       error
+	reg       *obs.Registry
 }
 
 // Option tunes a Topology at construction time.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/local"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/reorder"
 	"repro/internal/stream"
@@ -30,6 +31,9 @@ type RecTuple struct {
 	Rec   *record.Record
 	Enq   time.Time
 	Right bool
+	// Trace is non-nil on the 1-in-N tuples the run's Tracer sampled; each
+	// stage appends its span to it. Nil on the unsampled fast path.
+	Trace *obs.Trace
 }
 
 // SizeBytes approximates the wire size: record header (id + time + length)
@@ -42,6 +46,11 @@ func (t RecTuple) SizeBytes() int { return 24 + 4*len(t.Rec.Tokens) }
 type ResultTuple struct {
 	Pair record.Pair
 	Enq  time.Time
+	// Trace and ParentSpan carry the sampled lineage (if any) from the
+	// worker that verified the pair to the sink; the sink clears both
+	// before recycling the tuple.
+	Trace      *obs.Trace
+	ParentSpan int
 }
 
 // SizeBytes implements stream.Tuple.
@@ -88,6 +97,12 @@ type Config struct {
 	// join semantics are unchanged. Result.LateDrops reports records that
 	// exceeded even that slack (0 in practice).
 	Dispatchers int
+	// Registry, when set, receives the run's live metrics: engine edge and
+	// task series plus per-worker record latency and joiner statistics.
+	Registry *obs.Registry
+	// Tracer, when set and enabled, samples tuple lineages end to end
+	// (emit → dispatch → queue → process/verify → deliver).
+	Tracer *obs.Tracer
 }
 
 func (c Config) validate() error {
@@ -135,10 +150,14 @@ func (r *Result) Throughput() metrics.Throughput {
 	return metrics.Throughput{Records: r.Records, Elapsed: r.Elapsed}
 }
 
-// sourceSpout replays a slice of records, stamping ingestion time.
+// sourceSpout replays a slice of records, stamping ingestion time. When a
+// tracer is attached it asks for a sample per record: the unsampled path is
+// one atomic add, the sampled one starts the tuple's lineage with an emit
+// span.
 type sourceSpout struct {
-	recs []*record.Record
-	i    int
+	recs   []*record.Record
+	i      int
+	tracer *obs.Tracer
 }
 
 // Next implements stream.Spout.
@@ -148,7 +167,12 @@ func (s *sourceSpout) Next() (stream.Tuple, bool) {
 	}
 	r := s.recs[s.i]
 	s.i++
-	return RecTuple{Rec: r, Enq: time.Now()}, true
+	rt := RecTuple{Rec: r, Enq: time.Now()}
+	if tr := s.tracer.Sample(); tr != nil {
+		tr.Append("emit", "source", 0, -1, rt.Enq, rt.Enq)
+		rt.Trace = tr
+	}
+	return rt, true
 }
 
 // BiRecord tags a record with its stream side for two-stream joins.
@@ -159,8 +183,9 @@ type BiRecord struct {
 
 // biSourceSpout replays a two-sided stream.
 type biSourceSpout struct {
-	recs []BiRecord
-	i    int
+	recs   []BiRecord
+	i      int
+	tracer *obs.Tracer
 }
 
 // Next implements stream.Spout.
@@ -170,16 +195,33 @@ func (s *biSourceSpout) Next() (stream.Tuple, bool) {
 	}
 	br := s.recs[s.i]
 	s.i++
-	return RecTuple{Rec: br.Rec, Enq: time.Now(), Right: br.Right}, true
+	rt := RecTuple{Rec: br.Rec, Enq: time.Now(), Right: br.Right}
+	if tr := s.tracer.Sample(); tr != nil {
+		tr.Append("emit", "source", 0, -1, rt.Enq, rt.Enq)
+		rt.Trace = tr
+	}
+	return rt, true
 }
 
 // dispatcherBolt forwards records; routing happens in the grouping between
 // dispatcher and workers, mirroring how Storm topologies separate the
-// routing decision (grouping) from operator logic.
-type dispatcherBolt struct{}
+// routing decision (grouping) from operator logic. traced gates the
+// per-tuple type assertion so untraced runs forward with zero overhead.
+type dispatcherBolt struct {
+	task   int
+	traced bool
+}
 
 // Execute implements stream.Bolt.
-func (dispatcherBolt) Execute(t stream.Tuple, em stream.Emitter) { em.Emit(t) }
+func (d dispatcherBolt) Execute(t stream.Tuple, em stream.Emitter) {
+	if d.traced {
+		if rt, ok := t.(RecTuple); ok && rt.Trace != nil {
+			parent, prev := rt.Trace.Tail()
+			rt.Trace.Append("dispatch", "dispatcher", d.task, parent, prev, time.Now())
+		}
+	}
+	em.Emit(t)
+}
 
 // workerBolt hosts one local joiner and applies the strategy's store and
 // emit arbitration.
@@ -189,6 +231,9 @@ type workerBolt struct {
 	strat     dispatch.Strategy
 	joiner    local.Joiner
 	lat       metrics.Latency
+	// slat replaces lat on instrumented runs so scrapes can snapshot the
+	// histogram while the worker goroutine observes.
+	slat *metrics.SyncLatency
 	stored    uint64
 	results   uint64
 	wirePerB  int
@@ -242,6 +287,15 @@ func (w *workerBolt) process(rt RecTuple, em stream.Emitter) {
 	if store {
 		w.stored++
 	}
+	// For a sampled tuple, close the queue span (source/dispatch emit to
+	// worker receipt) before the join so the verify spans can hang off it.
+	queueSpan := -1
+	var pstart time.Time
+	if rt.Trace != nil {
+		parent, prev := rt.Trace.Tail()
+		pstart = time.Now()
+		queueSpan = rt.Trace.Append("queue", "worker", w.task, parent, prev, pstart)
+	}
 	emit := func(m local.Match) {
 		if !w.strat.Emits(r, m.Rec, w.task, w.k) {
 			return
@@ -250,6 +304,11 @@ func (w *workerBolt) process(rt RecTuple, em stream.Emitter) {
 		out := resultPool.Get().(*ResultTuple)
 		out.Pair = record.NewPair(r.ID, m.Rec.ID, m.Sim)
 		out.Enq = rt.Enq
+		if rt.Trace != nil {
+			now := time.Now()
+			out.Trace = rt.Trace
+			out.ParentSpan = rt.Trace.Append("verify", "worker", w.task, queueSpan, now, now)
+		}
 		em.Emit(out)
 	}
 	if w.bi != nil {
@@ -257,7 +316,54 @@ func (w *workerBolt) process(rt RecTuple, em stream.Emitter) {
 	} else {
 		w.joiner.Step(r, store, emit)
 	}
-	w.lat.Observe(time.Since(rt.Enq))
+	if rt.Trace != nil {
+		rt.Trace.Append("process", "worker", w.task, queueSpan, pstart, time.Now())
+	}
+	if w.slat != nil {
+		w.slat.Observe(time.Since(rt.Enq))
+	} else {
+		w.lat.Observe(time.Since(rt.Enq))
+	}
+}
+
+// registerJoinerMetrics publishes the worker's joiner statistics to reg.
+// Only the Bundled joiner has live counters; other joiners are covered by
+// the engine-level task series.
+func (w *workerBolt) registerJoinerMetrics(reg *obs.Registry, task int) {
+	type livePublisher interface {
+		PublishLive(*bundle.LiveStats)
+	}
+	lp, ok := w.joiner.(livePublisher)
+	if !ok {
+		return
+	}
+	ls := &bundle.LiveStats{}
+	lp.PublishLive(ls)
+	label := fmt.Sprintf("worker/%d", task)
+	reg.CounterVec("bundle_records_total",
+		"Records processed by a worker's bundle index.", "task").
+		SetFunc(label, func() float64 { return float64(ls.Records.Load()) })
+	reg.CounterVec("bundle_candidates_total",
+		"Candidate members examined by a worker's bundle index.", "task").
+		SetFunc(label, func() float64 { return float64(ls.Candidates.Load()) })
+	reg.CounterVec("bundle_verified_total",
+		"Candidates fully verified by a worker's bundle index.", "task").
+		SetFunc(label, func() float64 { return float64(ls.Verified.Load()) })
+	reg.CounterVec("bundle_results_total",
+		"Matches emitted by a worker's bundle index.", "task").
+		SetFunc(label, func() float64 { return float64(ls.Results.Load()) })
+	reg.GaugeVec("bundle_live_members",
+		"Records currently indexed by a worker's bundle index.", "task").
+		SetFunc(label, func() float64 { return float64(ls.Members.Load()) })
+	reg.GaugeVec("bundle_verify_hit_rate",
+		"Fraction of verified candidates that produced a result.", "task").
+		SetFunc(label, func() float64 {
+			v := ls.Verified.Load()
+			if v == 0 {
+				return 0
+			}
+			return float64(ls.Results.Load()) / float64(v)
+		})
 }
 
 // sinkBolt counts (and optionally keeps) result pairs.
@@ -268,11 +374,19 @@ type sinkBolt struct {
 }
 
 // Execute implements stream.Bolt: read the pair, then recycle the tuple.
+// Traced results get their terminal deliver span; the trace reference must
+// be cleared before pooling so recycled tuples do not resurrect lineages.
 func (s *sinkBolt) Execute(t stream.Tuple, _ stream.Emitter) {
 	rt := t.(*ResultTuple)
 	s.count++
 	if s.collect {
 		s.pairs = append(s.pairs, rt.Pair)
+	}
+	if rt.Trace != nil {
+		now := time.Now()
+		rt.Trace.Append("deliver", "sink", 0, rt.ParentSpan, now, now)
+		rt.Trace = nil
+		rt.ParentSpan = 0
 	}
 	resultPool.Put(rt)
 }
@@ -281,7 +395,7 @@ func (s *sinkBolt) Execute(t stream.Tuple, _ stream.Emitter) {
 // summary.
 func Run(recs []*record.Record, cfg Config) (*Result, error) {
 	return run(cfg, uint64(len(recs)), func(int) stream.Spout {
-		return &sourceSpout{recs: recs}
+		return &sourceSpout{recs: recs, tracer: cfg.Tracer}
 	}, false)
 }
 
@@ -290,7 +404,7 @@ func Run(recs []*record.Record, cfg Config) (*Result, error) {
 // must be globally increasing in arrival order, exactly as for Run.
 func RunBi(recs []BiRecord, cfg Config) (*Result, error) {
 	return run(cfg, uint64(len(recs)), func(int) stream.Spout {
-		return &biSourceSpout{recs: recs}
+		return &biSourceSpout{recs: recs, tracer: cfg.Tracer}
 	}, true)
 }
 
@@ -319,11 +433,15 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Res
 		}
 	}
 
-	tp := stream.New("ssjoin-"+cfg.Strategy.Name(), queueCap,
-		stream.WithBatchSize(batchSize))
+	streamOpts := []stream.Option{stream.WithBatchSize(batchSize)}
+	if cfg.Registry != nil {
+		streamOpts = append(streamOpts, stream.WithRegistry(cfg.Registry))
+	}
+	tp := stream.New("ssjoin-"+cfg.Strategy.Name(), queueCap, streamOpts...)
 	tp.AddSpout("source", spoutF, 1)
-	tp.AddBolt("dispatcher", func(int) stream.Bolt {
-		return dispatcherBolt{}
+	traced := cfg.Tracer.Enabled()
+	tp.AddBolt("dispatcher", func(task int) stream.Bolt {
+		return dispatcherBolt{task: task, traced: traced}
 	}, cfg.Dispatchers).SubscribeTo("source", stream.Shuffle{})
 
 	k := cfg.Workers
@@ -358,6 +476,13 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Res
 		}
 		if slack > 0 {
 			w.reorder = reorder.New(slack, func(rt RecTuple) uint64 { return uint64(rt.Rec.ID) })
+		}
+		if cfg.Registry != nil {
+			w.slat = &metrics.SyncLatency{}
+			cfg.Registry.HistogramVec("worker_record_seconds",
+				"Per-record latency observed at a worker: source enqueue to probe completion.", "task").
+				SetFunc(fmt.Sprintf("worker/%d", task), w.slat.Snapshot)
+			w.registerJoinerMetrics(cfg.Registry, task)
 		}
 		return w
 	}, k).SubscribeTo("dispatcher", routeGrouping)
@@ -398,7 +523,12 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Res
 			res.WorkerCosts = append(res.WorkerCosts, w.joiner.Cost())
 		}
 		res.StoredCopies += w.stored
-		res.Latency.Merge(&w.lat)
+		if w.slat != nil {
+			snap := w.slat.Snapshot()
+			res.Latency.Merge(&snap)
+		} else {
+			res.Latency.Merge(&w.lat)
+		}
 		if w.reorder != nil {
 			res.LateDrops += w.reorder.Late()
 		}
