@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +54,15 @@ func main() {
 		asJSON  = flag.Bool("json", false, "print the run summary as JSON on stdout")
 		rmt     = flag.String("remote", "", "comma-separated ssjoinworker addresses; replaces the in-process engine")
 		monitor = flag.String("monitor", "", "comma-separated worker HTTP (-http) addresses: scrape /metrics, print a cluster table, exit")
+
+		ft        = flag.Bool("ft", false, "fault-tolerant remote run: heartbeats, retry with backoff, checkpointed resume (requires -remote)")
+		retries   = flag.Int("retries", 4, "FT: consecutive failed reconnect attempts before a worker is declared dead")
+		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "FT: first-retry backoff delay")
+		retryCap  = flag.Duration("retry-cap", 2*time.Second, "FT: backoff delay ceiling")
+		hbIvl     = flag.Duration("hb-interval", time.Second, "FT: heartbeat ping interval on idle connections")
+		hbTimeout = flag.Duration("hb-timeout", 0, "FT: silence span declaring a connection hung (0: 5x interval)")
+		degraded  = flag.Bool("degraded", false, "FT: on a worker death, rebalance its length ranges onto survivors instead of failing (length distribution only)")
+		sessionID = flag.Uint64("session-id", 0, "FT: checkpoint key for resume across coordinator restarts (0: derived from the workload seed)")
 	)
 	flag.Parse()
 
@@ -69,7 +79,21 @@ func main() {
 	}
 
 	if *rmt != "" {
-		if err := runRemote(*rmt, recs, *tau, *fn, *alg, *dist, *win, *pairs); err != nil {
+		var ftCfg *remote.FT
+		if *ft {
+			id := *sessionID
+			if id == 0 {
+				id = uint64(*seed)*0x9e3779b97f4a7c15 + uint64(*n)
+			}
+			ftCfg = &remote.FT{
+				Retry:             remote.RetryPolicy{MaxAttempts: *retries, Base: *retryBase, Cap: *retryCap, Seed: id},
+				HeartbeatInterval: *hbIvl,
+				HeartbeatTimeout:  *hbTimeout,
+				SessionID:         id,
+				Degraded:          *degraded,
+			}
+		}
+		if err := runRemote(*rmt, recs, *tau, *fn, *alg, *dist, *win, *pairs, ftCfg); err != nil {
 			fatal(err)
 		}
 		return
@@ -194,20 +218,13 @@ func parsePart(s string) (ssjoin.Partitioner, error) {
 }
 
 // runRemote executes the join on external workers over TCP. Ctrl-C cancels
-// the run: dials abort and worker connections close.
-func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dist string, win int64, pairs bool) error {
+// the run: dials abort and worker connections close. With ftCfg set the
+// run goes through the fault-tolerant coordinator: each worker is dialed
+// (and re-dialed) on demand instead of up front.
+func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dist string, win int64, pairs bool, ftCfg *remote.FT) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	addrs := strings.Split(addrList, ",")
-	conns, err := remote.Dial(ctx, addrs, 5*time.Second)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		for _, c := range conns {
-			c.Close()
-		}
-	}()
 
 	f, err := similarity.ParseFunc(fn)
 	if err != nil {
@@ -233,14 +250,34 @@ func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dis
 			h.Add(r.Len())
 		}
 		w := partition.CostModel{Params: params}.Weights(&h)
-		sess.Bounds = partition.LoadAware(w, len(conns)).Bounds
+		sess.Bounds = partition.LoadAware(w, len(addrs)).Bounds
 	}
 
-	rws := make([]io.ReadWriter, len(conns))
-	for i, c := range conns {
-		rws[i] = c
+	var sum *remote.RunSummary
+	if ftCfg != nil {
+		dialer := func(ctx context.Context, task int) (io.ReadWriteCloser, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addrs[task])
+		}
+		sum, err = remote.RunFT(ctx, dialer, len(addrs), sess, recs,
+			remote.Opts{CollectPairs: pairs}, *ftCfg)
+	} else {
+		var conns []net.Conn
+		conns, err = remote.Dial(ctx, addrs, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		rws := make([]io.ReadWriter, len(conns))
+		for i, c := range conns {
+			rws[i] = c
+		}
+		sum, err = remote.Run(ctx, rws, sess, recs, pairs)
 	}
-	sum, err := remote.Run(ctx, rws, sess, recs, pairs)
 	if err != nil {
 		return err
 	}
@@ -251,8 +288,13 @@ func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dis
 	}
 	fmt.Fprintf(os.Stderr,
 		"remote: workers=%d records=%d results=%d elapsed=%v throughput=%.0f rec/s sent=%d tuples (%d bytes)\n",
-		len(conns), sum.Records, sum.Results, sum.Elapsed,
+		len(addrs), sum.Records, sum.Results, sum.Elapsed,
 		float64(sum.Records)/sum.Elapsed.Seconds(), sum.TuplesSent, sum.BytesSent)
+	if ftCfg != nil && (sum.Retries > 0 || sum.Reconnects > 0 || sum.Degraded) {
+		fmt.Fprintf(os.Stderr,
+			"remote: ft: retries=%d reconnects=%d replayed=%d degraded=%v dead=%v\n",
+			sum.Retries, sum.Reconnects, sum.ReplayedRecords, sum.Degraded, sum.DeadWorkers)
+	}
 	return nil
 }
 

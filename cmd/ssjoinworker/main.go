@@ -37,8 +37,16 @@ func run() int {
 	var (
 		listen   = flag.String("listen", ":7401", "TCP address to listen on")
 		httpAddr = flag.String("http", "", "optional HTTP address serving /healthz, /stats, /metrics, /debug/traces, and /debug/pprof")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for fault-tolerant session checkpoints (empty disables persistence; FT sessions then resume from scratch)")
+		ckptIvl  = flag.Duration("checkpoint-interval", 0, "minimum spacing between periodic window checkpoints (0: checkpoint only on unclean session exit)")
 	)
 	flag.Parse()
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ssjoinworker:", err)
+			return 1
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -78,7 +86,16 @@ func run() int {
 	}
 
 	log.Printf("ssjoinworker: listening on %s", ln.Addr())
-	if err := remote.ServeWorkerMonitored(ctx, ln, log.Printf, &mon); err != nil {
+	if *ckptDir != "" {
+		log.Printf("ssjoinworker: checkpointing to %s (interval %s)", *ckptDir, *ckptIvl)
+	}
+	err = remote.ServeWorkerOpts(ctx, ln, remote.WorkerOpts{
+		Mon:                &mon,
+		Logf:               log.Printf,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptIvl,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssjoinworker:", err)
 		return 1
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bundle"
 	"repro/internal/filter"
 	"repro/internal/local"
 	"repro/internal/record"
@@ -78,6 +79,129 @@ func TestCheckpointRestoreContinuesIdentically(t *testing.T) {
 					t.Fatalf("%v/%v: missing %v", alg, win, p)
 				}
 			}
+		}
+	}
+}
+
+// TestCheckpointBundleGroupedRoundTrip exercises restore with explicit
+// bundle-grouping configs: restore goes through Load, which must rebuild
+// the bundle groupings from scratch under the same Config, including when
+// a bounded window has already evicted part of the stream.
+func TestCheckpointBundleGroupedRoundTrip(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(47)).Generate(500)
+	const cut = 300
+	configs := []bundle.Config{
+		{GroupThreshold: 0.9, MaxMembers: 4},
+		{GroupThreshold: 0.85, MaxMembers: 8, OneByOneVerify: true},
+	}
+	for _, cfg := range configs {
+		for _, win := range []window.Policy{window.Unbounded{}, window.Count{N: 96}} {
+			o := opts(0.7, win)
+			o.Bundle = cfg
+
+			ref := local.New(local.Bundled, o)
+			want := make(map[record.Pair]bool)
+			for i, r := range recs {
+				ref.Step(r, true, func(m local.Match) {
+					if i >= cut {
+						want[record.NewPair(r.ID, m.Rec.ID, 0)] = true
+					}
+				})
+			}
+
+			j1 := local.New(local.Bundled, o)
+			for _, r := range recs[:cut] {
+				j1.Step(r, true, func(local.Match) {})
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, Cursor{NextID: cut, NextTime: cut}, j1); err != nil {
+				t.Fatalf("%+v/%v: write: %v", cfg, win, err)
+			}
+			j2 := local.New(local.Bundled, o)
+			if _, n, err := Read(&buf, j2); err != nil {
+				t.Fatalf("%+v/%v: read: %v", cfg, win, err)
+			} else if n != j1.Size() {
+				t.Fatalf("%+v/%v: restored %d records, source held %d", cfg, win, n, j1.Size())
+			}
+			got := make(map[record.Pair]bool)
+			for _, r := range recs[cut:] {
+				j2.Step(r, true, func(m local.Match) {
+					got[record.NewPair(r.ID, m.Rec.ID, 0)] = true
+				})
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%+v/%v: got %d matches after restore, want %d", cfg, win, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("%+v/%v: missing %v", cfg, win, p)
+				}
+			}
+		}
+	}
+}
+
+// TestCursorContinuationExact pins the contract the worker resume path
+// depends on: the restored cursor alone is enough to restart ID and tick
+// assignment. The tail after restore is re-stamped purely from the cursor
+// (NextID+i, NextTime+i) and must reproduce the uninterrupted run, which
+// only holds if the cursor round-trips exactly.
+func TestCursorContinuationExact(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(61)).Generate(400)
+	const cut = 250
+	o := opts(0.7, window.Count{N: 80})
+
+	ref := local.New(local.Prefix, o)
+	want := make(map[record.Pair]bool)
+	for i, r := range recs {
+		ref.Step(r, true, func(m local.Match) {
+			if i >= cut {
+				want[record.NewPair(r.ID, m.Rec.ID, 0)] = true
+			}
+		})
+	}
+
+	j1 := local.New(local.Prefix, o)
+	for _, r := range recs[:cut] {
+		j1.Step(r, true, func(local.Match) {})
+	}
+	var buf bytes.Buffer
+	saved := Cursor{NextID: cut, NextTime: cut}
+	if err := Write(&buf, saved, j1); err != nil {
+		t.Fatal(err)
+	}
+	j2 := local.New(local.Prefix, o)
+	cur, _, err := Read(&buf, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != saved {
+		t.Fatalf("cursor round trip: got %+v, want %+v", cur, saved)
+	}
+
+	// Rebuild the tail from the cursor alone: same token sets, but IDs and
+	// ticks assigned from the restored position.
+	got := make(map[record.Pair]bool)
+	for i, r := range recs[cut:] {
+		cont := &record.Record{
+			ID:     record.ID(cur.NextID) + record.ID(i),
+			Time:   cur.NextTime + int64(i),
+			Tokens: r.Tokens,
+		}
+		if cont.ID != r.ID || cont.Time != r.Time {
+			t.Fatalf("cursor-derived stamp (%d, %d) diverges from stream (%d, %d)",
+				cont.ID, cont.Time, r.ID, r.Time)
+		}
+		j2.Step(cont, true, func(m local.Match) {
+			got[record.NewPair(cont.ID, m.Rec.ID, 0)] = true
+		})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor-continued run: got %d matches, want %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("cursor-continued run missing %v", p)
 		}
 	}
 }

@@ -177,6 +177,7 @@ func All() []*Analyzer {
 		CtxCheck,
 		DetCheck,
 		ObsCheck,
+		RetryCheck,
 	}
 }
 

@@ -21,6 +21,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{CtxCheck, "ctxcheck"},
 		{DetCheck, "detcheck"},
 		{ObsCheck, "obscheck"},
+		{RetryCheck, "retrycheck"},
 	}
 	for _, c := range cases {
 		c := c
@@ -41,7 +42,7 @@ func TestFixturesAreKnownBad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dirs) < 6 {
+	if len(dirs) < 7 {
 		t.Fatalf("expected a fixture dir per analyzer, found %d", len(dirs))
 	}
 	for _, d := range dirs {
@@ -65,7 +66,7 @@ func TestFixturesAreKnownBad(t *testing.T) {
 // TestByName checks suite lookup and the unknown-analyzer error.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 6 {
+	if err != nil || len(all) != 7 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("lockcheck, detcheck")

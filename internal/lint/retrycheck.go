@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RetryCheck enforces the cancellation contract of retry loops: in any
+// function that receives a context.Context, a for-loop that sleeps
+// (time.Sleep, or a receive from time.After) must consult the context in
+// the same innermost loop — select on ctx.Done(), check ctx.Err(), or
+// delegate the wait to a ctx-accepting helper (e.g. a sleepCtx-style
+// function called with the context). A backoff loop without such a check
+// keeps a cancelled operation alive for the rest of its retry budget,
+// which in the fault-tolerant coordinator means shutdown stalls for the
+// full backoff schedule of every dead worker.
+//
+// Nested function literals are analyzed as their own scope: a sleep
+// inside a goroutine body neither condemns nor excuses the enclosing
+// loop.
+var RetryCheck = &Analyzer{
+	Name: "retrycheck",
+	Doc:  "retry/backoff loops under a ctx must check cancellation each iteration",
+	Run:  runRetryCheck,
+}
+
+func runRetryCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && fieldListTakesContext(pass, fn.Type.Params) {
+					checkRetryLoops(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				if fieldListTakesContext(pass, fn.Type.Params) {
+					checkRetryLoops(pass, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldListTakesContext reports whether any parameter is a context.Context.
+func fieldListTakesContext(pass *Pass, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if t, ok := pass.Info.Types[field.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRetryLoops walks one function body and reports every for/range
+// loop that sleeps without a cancellation check in its own (innermost)
+// statement list. Function literals are skipped — they form their own
+// scope and are picked up by runRetryCheck when they take a ctx.
+func checkRetryLoops(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch loop := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				inspectLoop(pass, loop, loop.Body, walk)
+				return false
+			case *ast.RangeStmt:
+				inspectLoop(pass, loop, loop.Body, walk)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// inspectLoop classifies the statements that belong directly to this loop
+// (stopping at nested loops and func literals), reports when it sleeps
+// without checking the context, and recurses into nested loops so each
+// level is judged on its own statements.
+func inspectLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, walk func(ast.Node)) {
+	sleeps := false
+	cancelAware := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch inner := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			// A sleep in a nested loop belongs to that loop; judge it
+			// separately below.
+			walk(n)
+			return false
+		case *ast.CallExpr:
+			if isTimeSleepOrAfter(pass, inner) {
+				sleeps = true
+			}
+			if callConsultsContext(pass, inner) {
+				cancelAware = true
+			}
+		}
+		return true
+	})
+	if sleeps && !cancelAware {
+		pass.Reportf(loop.Pos(),
+			"retry loop sleeps without a context cancellation check: select on ctx.Done or check ctx.Err each iteration")
+	}
+}
+
+// isTimeSleepOrAfter matches time.Sleep and time.After calls.
+func isTimeSleepOrAfter(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	return fn.Name() == "Sleep" || fn.Name() == "After"
+}
+
+// callConsultsContext reports whether a call observes cancellation: a
+// ctx.Done()/ctx.Err() method call, or any call handed a context.Context
+// argument (a ctx-accepting helper owns the cancellation check).
+func callConsultsContext(pass *Pass, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Done" || sel.Sel.Name == "Err" {
+			if t, ok := pass.Info.Types[sel.X]; ok && isContextType(t.Type) {
+				return true
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if t, ok := pass.Info.Types[arg]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+// Package retryfix (fixture) exercises retrycheck: loops that sleep under
+// a live context must observe cancellation each iteration.
+package retryfix
+
+import (
+	"context"
+	"time"
+)
+
+// badRetry is the canonical offense: exponential backoff that outlives a
+// cancelled caller.
+func badRetry(ctx context.Context, attempt func() error) error {
+	var err error
+	for i := 0; i < 5; i++ { // want "retry loop sleeps without a context cancellation check"
+		if err = attempt(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Duration(i) * time.Millisecond)
+	}
+	return err
+}
+
+// badAfter sleeps through a channel receive instead; same problem.
+func badAfter(ctx context.Context, ready func() bool) {
+	for !ready() { // want "retry loop sleeps without a context cancellation check"
+		<-time.After(10 * time.Millisecond)
+	}
+}
+
+// badRange shows the range form is caught too.
+func badRange(ctx context.Context, addrs []string, dial func(string) error) {
+	for _, a := range addrs { // want "retry loop sleeps without a context cancellation check"
+		if dial(a) != nil {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// goodErrCheck polls ctx.Err each iteration.
+func goodErrCheck(ctx context.Context, attempt func() error) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt() == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// goodSelect races the sleep against cancellation.
+func goodSelect(ctx context.Context, ready func() bool) {
+	for !ready() {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// goodHelper delegates the wait to a ctx-accepting sleeper.
+func goodHelper(ctx context.Context, attempt func() error) error {
+	for {
+		if attempt() == nil {
+			return nil
+		}
+		if err := pause(ctx, time.Millisecond); err != nil {
+			return err
+		}
+	}
+}
+
+// pause is the sleepCtx shape: no loop, so its own time.After is fine.
+func pause(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// noCtx has no context to consult; plain polling loops are out of scope.
+func noCtx(ready func() bool) {
+	for !ready() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// nestedScopes: the outer loop checks ctx, but the inner loop sleeps on
+// its own and must be flagged independently.
+func nestedScopes(ctx context.Context, attempt func() error) {
+	for ctx.Err() == nil {
+		for i := 0; i < 3; i++ { // want "retry loop sleeps without a context cancellation check"
+			if attempt() == nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// literalScope: a goroutine body is its own scope — the enclosing loop
+// does not sleep, and the ctx-less literal is out of scope, so nothing
+// fires here.
+func literalScope(ctx context.Context, work func()) {
+	for ctx.Err() == nil {
+		go func() {
+			time.Sleep(time.Millisecond)
+			work()
+		}()
+		if err := pause(ctx, time.Millisecond); err != nil {
+			return
+		}
+	}
+}
+
+// literalWithCtx: a ctx-taking literal is analyzed on its own and caught.
+var retryFn = func(ctx context.Context, attempt func() error) {
+	for attempt() != nil { // want "retry loop sleeps without a context cancellation check"
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// suppressed documents the one legitimate exception path.
+func suppressed(ctx context.Context, attempt func() error) {
+	//lint:ignore retrycheck fixture: demonstrates suppression
+	for attempt() != nil {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,76 @@
+package partition
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoSurvivors is returned by Rebalance when every worker is dead.
+var ErrNoSurvivors = errors.New("partition: no surviving workers")
+
+// Heir returns the surviving worker that absorbs dead worker d's length
+// interval under Rebalance: the next alive worker above d, or — when
+// nothing above d survives — the highest alive worker below it. ok is
+// false when no worker is alive.
+//
+// The next-else-last rule has a property the fault-tolerant coordinator
+// depends on: the intervals owned by an alive worker (its own plus any it
+// absorbed) always form a contiguous run ending at that worker, so when it
+// dies in turn, every interval it held moves to the SAME heir. Merged
+// replay logs therefore never need to be split.
+func Heir(alive []bool, d int) (int, bool) {
+	for i := d + 1; i < len(alive); i++ {
+		if alive[i] {
+			return i, true
+		}
+	}
+	for i := d - 1; i >= 0; i-- {
+		if alive[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Rebalance reassigns dead workers' length intervals onto survivors,
+// producing new bounds over the SAME worker count (task indices are wire
+// identities and cannot shift). A dead worker's interval collapses to
+// empty and its lengths flow to Heir(alive, d). p must be the original
+// partition: the result is computed fresh from it, so repeated deaths
+// compose without drift.
+//
+// The returned bounds keep the Partition invariants WorkerOf relies on: a
+// dead worker's bound equals its left edge (empty interval), and when the
+// last workers are all dead the highest survivor's bound is raised to
+// MaxInt so WorkerOf's clamp can never route an over-long record to a
+// corpse.
+func Rebalance(p Partition, alive []bool) (Partition, error) {
+	k := len(p.Bounds)
+	if len(alive) != k {
+		return Partition{}, errors.New("partition: alive mask length mismatch")
+	}
+	lastAlive := -1
+	for i := k - 1; i >= 0; i-- {
+		if alive[i] {
+			lastAlive = i
+			break
+		}
+	}
+	if lastAlive < 0 {
+		return Partition{}, ErrNoSurvivors
+	}
+	nb := make([]int, k)
+	edge := 0
+	for i := 0; i < k; i++ {
+		if alive[i] {
+			edge = p.Bounds[i]
+		}
+		nb[i] = edge
+	}
+	if lastAlive < k-1 {
+		for i := lastAlive; i < k; i++ {
+			nb[i] = math.MaxInt
+		}
+	}
+	return Partition{Bounds: nb}, nil
+}

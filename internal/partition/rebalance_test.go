@@ -1,0 +1,119 @@
+package partition
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestHeir(t *testing.T) {
+	cases := []struct {
+		alive []bool
+		d     int
+		want  int
+		ok    bool
+	}{
+		{[]bool{true, false, true}, 1, 2, true},    // next alive above
+		{[]bool{true, true, false}, 2, 1, true},    // nothing above: highest below
+		{[]bool{false, true, true}, 0, 1, true},    // first worker dies
+		{[]bool{true, false, false}, 1, 0, true},   // chain collapsed to the left
+		{[]bool{false, false, false}, 1, 0, false}, // everyone dead
+	}
+	for i, tc := range cases {
+		got, ok := Heir(tc.alive, tc.d)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("case %d: Heir(%v, %d) = %d, %v; want %d, %v",
+				i, tc.alive, tc.d, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestHeirChainConsistency pins the invariant the FT coordinator's log
+// merging depends on: when an heir later dies itself, every interval it
+// held (its own plus any absorbed) moves to a single next heir.
+func TestHeirChainConsistency(t *testing.T) {
+	alive := []bool{true, true, true, true}
+	alive[1] = false
+	if h, ok := Heir(alive, 1); !ok || h != 2 {
+		t.Fatalf("heir of 1 = %d, %v; want 2", h, ok)
+	}
+	alive[2] = false
+	if h, ok := Heir(alive, 2); !ok || h != 3 {
+		t.Fatalf("heir of 2 = %d, %v; want 3 (single heir for merged intervals)", h, ok)
+	}
+	// And when the right flank is gone, the chain flows left the same way.
+	alive = []bool{true, true, false, false}
+	if h, ok := Heir(alive, 3); !ok || h != 1 {
+		t.Fatalf("heir of 3 = %d, %v; want 1", h, ok)
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	orig := Partition{Bounds: []int{5, 10, 20}}
+	cases := []struct {
+		name  string
+		alive []bool
+		want  []int
+	}{
+		{"middle dies", []bool{true, false, true}, []int{5, 5, 20}},
+		{"last dies", []bool{true, true, false}, []int{5, math.MaxInt, math.MaxInt}},
+		{"first dies", []bool{false, true, true}, []int{0, 10, 20}},
+	}
+	for _, tc := range cases {
+		got, err := Rebalance(orig, tc.alive)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got.Bounds, tc.want) {
+			t.Errorf("%s: bounds = %v, want %v", tc.name, got.Bounds, tc.want)
+		}
+	}
+}
+
+// TestRebalanceComposesAcrossDeaths re-runs Rebalance from the ORIGINAL
+// partition as deaths accumulate and checks every length routes to an
+// alive worker throughout.
+func TestRebalanceComposesAcrossDeaths(t *testing.T) {
+	orig := Partition{Bounds: []int{5, 10, 15, 20}}
+	alive := []bool{true, true, true, true}
+	for _, death := range []int{1, 2} {
+		alive[death] = false
+		p, err := Rebalance(orig, alive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 1; l <= 30; l++ {
+			w := p.WorkerOf(l)
+			if !alive[w] {
+				t.Fatalf("after deaths up to %d: length %d routed to dead worker %d (bounds %v)",
+					death, l, w, p.Bounds)
+			}
+		}
+	}
+	p, _ := Rebalance(orig, alive)
+	if want := []int{5, 5, 5, 20}; !reflect.DeepEqual(p.Bounds, want) {
+		t.Errorf("bounds after two deaths = %v, want %v", p.Bounds, want)
+	}
+}
+
+// TestRebalanceOverlongRoutesToSurvivor guards the WorkerOf clamp: with
+// the tail workers dead, over-long records must land on the highest
+// survivor, not the corpse the clamp would otherwise pick.
+func TestRebalanceOverlongRoutesToSurvivor(t *testing.T) {
+	p, err := Rebalance(Partition{Bounds: []int{5, 10, 20}}, []bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := p.WorkerOf(1000); w != 0 {
+		t.Errorf("over-long record routed to worker %d, want 0", w)
+	}
+}
+
+func TestRebalanceErrors(t *testing.T) {
+	if _, err := Rebalance(Partition{Bounds: []int{5, 10}}, []bool{false, false}); err != ErrNoSurvivors {
+		t.Errorf("all dead: err = %v, want ErrNoSurvivors", err)
+	}
+	if _, err := Rebalance(Partition{Bounds: []int{5, 10}}, []bool{true}); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+}

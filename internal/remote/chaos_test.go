@@ -1,0 +1,163 @@
+package remote
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultwire"
+	"repro/internal/record"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// chaosBaseline runs the same session fault-free over plain Run and
+// returns its result set — the ground truth the chaotic run must match
+// exactly. Run (not the single-node joiner) is the right baseline: it has
+// identical per-worker stream semantics, including windowed eviction.
+func chaosBaseline(t *testing.T, k int, sess Session, recs []*record.Record) map[record.Pair]bool {
+	t.Helper()
+	conns := startWorkers(t, k)
+	sum, err := Run(context.Background(), asRW(conns), sess, recs, true)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	return pairSet(sum.Pairs)
+}
+
+// TestChaosSeededFaultParity is the acceptance gate for the fault
+// injection harness: a run with seeded severs, duplicated frames and
+// delays on every connection must produce exactly the fault-free result
+// set. Each worker's first connection is severed deterministically
+// mid-stream; every connection additionally carries probabilistic faults
+// from the fixed seed. Windows are bounded so checkpoint/restore runs
+// through real eviction state.
+func TestChaosSeededFaultParity(t *testing.T) {
+	const chaosSeed = 0xC4405
+	recs := workload.NewGenerator(workload.UniformSmall(83)).Generate(1200)
+	const tau = 0.7
+	for _, strat := range []string{"length", "broadcast"} {
+		strat := strat
+		t.Run(strat, func(t *testing.T) {
+			k := 3
+			sess := testSession(tau, strat, nil)
+			sess.Window = window.Count{N: 128}
+			if strat == "length" {
+				sess.Bounds = boundsFor(recs, tau, k)
+			}
+			want := chaosBaseline(t, k, sess, recs)
+
+			workers := make([]*ftWorker, k)
+			for i := range workers {
+				workers[i] = startFTWorker(t, t.TempDir(), 2*time.Millisecond)
+			}
+			var attempts [3]atomic.Int64
+			dial := func(ctx context.Context, task int) (io.ReadWriteCloser, error) {
+				var d net.Dialer
+				c, err := d.DialContext(ctx, "tcp", workers[task].addr)
+				if err != nil {
+					return nil, err
+				}
+				n := attempts[task].Add(1)
+				cfg := faultwire.Config{
+					// Fresh sub-seed per attempt so a retried connection
+					// doesn't replay the exact fault schedule that killed
+					// its predecessor.
+					Seed:          chaosSeed ^ uint64(task)<<16 ^ uint64(n),
+					SeverPerMille: 2,
+					DupPerMille:   20,
+					DelayPerMille: 5,
+					Delay:         200 * time.Microsecond,
+				}
+				if n == 1 {
+					// Deterministic anchor: the first connection always
+					// dies mid-stream.
+					cfg.SeverAfterFrames = 80
+				}
+				return faultwire.Wrap(c, cfg), nil
+			}
+			ft := FT{
+				Retry:             RetryPolicy{MaxAttempts: 100, Base: time.Millisecond, Cap: 20 * time.Millisecond, Seed: chaosSeed},
+				HeartbeatInterval: 10 * time.Millisecond,
+				HeartbeatTimeout:  500 * time.Millisecond,
+				SessionID:         chaosSeed ^ uint64(len(strat)),
+			}
+			sum, err := RunFT(context.Background(), dial, k, sess, recs, Opts{CollectPairs: true}, ft)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireParity(t, sum.Pairs, want, strat)
+			if sum.Reconnects < uint64(k) {
+				t.Errorf("reconnects = %d, want at least %d (anchored severs)", sum.Reconnects, k)
+			}
+			var ckpts, dups uint64
+			for _, w := range workers {
+				ckpts += w.mon.CheckpointsWritten.Load()
+				dups += w.mon.DuplicateRecords.Load()
+			}
+			if ckpts == 0 {
+				t.Error("no checkpoints written under chaos")
+			}
+			if dups == 0 {
+				t.Error("duplicate filter never fired despite injected duplicates")
+			}
+			t.Logf("%s: reconnects=%d retries=%d replayed=%d worker_ckpts=%d worker_dups=%d",
+				strat, sum.Reconnects, sum.Retries, sum.ReplayedRecords, ckpts, dups)
+		})
+	}
+}
+
+// TestChaosDegradedParity combines chaos with permanent loss: worker 0's
+// transport fails for good partway through, degradation rebalances onto
+// survivors, and the result set must still match the fault-free baseline.
+// Unbounded windows: a merged replay log interleaves two workers' streams,
+// which is only order-insensitive without eviction.
+func TestChaosDegradedParity(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(89)).Generate(800)
+	const tau = 0.7
+	k := 3
+	sess := testSession(tau, "length", boundsFor(recs, tau, k))
+	want := chaosBaseline(t, k, sess, recs)
+
+	workers := make([]*ftWorker, k)
+	for i := range workers {
+		workers[i] = startFTWorker(t, t.TempDir(), 2*time.Millisecond)
+	}
+	var attempts [3]atomic.Int64
+	dial := func(ctx context.Context, task int) (io.ReadWriteCloser, error) {
+		n := attempts[task].Add(1)
+		if task == 0 && n > 1 {
+			return nil, io.ErrClosedPipe // worker 0 never comes back
+		}
+		var d net.Dialer
+		c, err := d.DialContext(ctx, "tcp", workers[task].addr)
+		if err != nil {
+			return nil, err
+		}
+		if task == 0 {
+			return faultwire.Wrap(c, faultwire.Config{SeverAfterFrames: 50}), nil
+		}
+		return faultwire.Wrap(c, faultwire.Config{
+			Seed:        0xDE64 ^ uint64(task)<<16 ^ uint64(n),
+			DupPerMille: 15,
+		}), nil
+	}
+	ft := FT{
+		Retry:             RetryPolicy{MaxAttempts: 2, Base: time.Millisecond, Cap: 10 * time.Millisecond},
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		SessionID:         0xDE64,
+		Degraded:          true,
+	}
+	sum, err := RunFT(context.Background(), dial, k, sess, recs, Opts{CollectPairs: true}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireParity(t, sum.Pairs, want, "chaos-degraded")
+	if !sum.Degraded || len(sum.DeadWorkers) != 1 || sum.DeadWorkers[0] != 0 {
+		t.Errorf("degraded=%v dead=%v, want degraded with worker 0 dead", sum.Degraded, sum.DeadWorkers)
+	}
+}

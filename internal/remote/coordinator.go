@@ -29,6 +29,19 @@ type RunSummary struct {
 	// Snapshots holds each worker's window checkpoint when requested via
 	// Opts.Snapshot, indexed by task.
 	Snapshots [][]byte
+	// Degraded reports that a fault-tolerant run declared at least one
+	// worker dead and rebalanced its length ranges onto survivors instead
+	// of failing.
+	Degraded bool
+	// DeadWorkers lists the tasks declared dead, in death order (FT runs).
+	DeadWorkers []int
+	// RebalancedBounds is the post-degradation length partition, when the
+	// run degraded.
+	RebalancedBounds []int
+	// Retries counts failed connection attempts, Reconnects successful
+	// recoveries, and ReplayedRecords the log entries re-sent during those
+	// recoveries (FT runs).
+	Retries, Reconnects, ReplayedRecords uint64
 }
 
 // Opts tunes a remote run beyond the session parameters.
@@ -44,15 +57,22 @@ type Opts struct {
 	Snapshot bool
 }
 
-// countingWriter tallies bytes crossing a connection.
+// countingWriter tallies bytes crossing a connection. When stamp is set,
+// each completed write stores its offset from base there — the outbound
+// half of the FT liveness signal.
 type countingWriter struct {
-	w io.Writer
-	n atomic.Uint64
+	w     io.Writer
+	n     atomic.Uint64
+	stamp *atomic.Int64
+	base  time.Time
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n.Add(uint64(n))
+	if c.stamp != nil {
+		c.stamp.Store(int64(time.Since(c.base)))
+	}
 	return n, err
 }
 

@@ -25,6 +25,15 @@ type Monitor struct {
 	// InFlightRecords counts records currently being processed across all
 	// sessions — the worker's instantaneous queue depth.
 	InFlightRecords atomic.Int64
+	// CheckpointsWritten counts window checkpoints persisted by
+	// fault-tolerant sessions (periodic and on unclean exit).
+	CheckpointsWritten atomic.Uint64
+	// SessionsResumed counts FT sessions whose window was restored from a
+	// checkpoint at handshake.
+	SessionsResumed atomic.Uint64
+	// DuplicateRecords counts records dropped by the FT replay/duplicate
+	// filter (ID at or below the resume cursor).
+	DuplicateRecords atomic.Uint64
 	// SessionLatency tracks wall time per completed session (failures
 	// included).
 	SessionLatency metrics.SyncLatency
@@ -76,9 +85,12 @@ func (m *Monitor) Snapshot() map[string]uint64 {
 		"sessions_finished": finished,
 		"sessions_failed":   failed,
 		"sessions_active":   started - finished - failed,
+		"sessions_resumed":  m.SessionsResumed.Load(),
 		"records_seen":      m.RecordsSeen.Load(),
 		"results_emitted":   m.ResultsEmitted.Load(),
 		"inflight_records":  uint64(inflight),
+		"checkpoints":       m.CheckpointsWritten.Load(),
+		"duplicate_records": m.DuplicateRecords.Load(),
 		"session_us_p50":    uint64(lat.Quantile(0.5).Microseconds()),
 		"session_us_p99":    uint64(lat.Quantile(0.99).Microseconds()),
 		"record_us_p50":     uint64(rlat.Quantile(0.5).Microseconds()),
@@ -114,6 +126,15 @@ func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
 			}
 			return float64(n)
 		})
+	reg.CounterFunc("worker_checkpoints_total",
+		"Window checkpoints written by fault-tolerant sessions.",
+		func() float64 { return float64(m.CheckpointsWritten.Load()) })
+	reg.CounterFunc("worker_sessions_resumed_total",
+		"FT sessions restored from a checkpoint at handshake.",
+		func() float64 { return float64(m.SessionsResumed.Load()) })
+	reg.CounterFunc("worker_duplicate_records_total",
+		"Records dropped by the FT replay/duplicate filter.",
+		func() float64 { return float64(m.DuplicateRecords.Load()) })
 	reg.GaugeFunc("worker_load",
 		"Record throughput (records/second) since the previous scrape.",
 		m.Load)

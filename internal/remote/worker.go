@@ -8,6 +8,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -17,20 +19,51 @@ import (
 	"repro/internal/wire"
 )
 
+// WorkerOpts configures the optional capabilities of a worker: monitoring
+// counters, logging, and fault-tolerant checkpointing. The zero value is a
+// plain worker.
+type WorkerOpts struct {
+	// Mon feeds the worker monitor's counters when non-nil.
+	Mon *Monitor
+	// Logf receives operational log lines; nil means log.Printf.
+	Logf func(format string, args ...interface{})
+	// CheckpointDir enables window checkpointing for fault-tolerant
+	// sessions: periodic snapshots land here (one file per session/task)
+	// and resuming coordinators are answered from them. Empty disables
+	// checkpointing — FT sessions then always resume from scratch.
+	CheckpointDir string
+	// CheckpointInterval is the minimum spacing between periodic window
+	// checkpoints. Zero checkpoints only when a session ends uncleanly
+	// (connection break, cancellation) — the cheapest useful setting.
+	CheckpointInterval time.Duration
+}
+
+func (o WorkerOpts) logf(format string, args ...interface{}) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
 // ServeWorker accepts coordinator connections on ln and runs one join
 // session per connection until ln is closed or ctx is cancelled. Sessions
 // run concurrently; each owns its joiner. The returned error is nil when
 // the listener was closed; in-flight sessions are drained before return.
 func ServeWorker(ctx context.Context, ln net.Listener, logf func(format string, args ...interface{})) error {
-	return ServeWorkerMonitored(ctx, ln, logf, nil)
+	return ServeWorkerOpts(ctx, ln, WorkerOpts{Logf: logf})
 }
 
 // ServeWorkerMonitored behaves like ServeWorker and additionally feeds the
 // monitor's counters (mon may be nil).
 func ServeWorkerMonitored(ctx context.Context, ln net.Listener, logf func(format string, args ...interface{}), mon *Monitor) error {
-	if logf == nil {
-		logf = log.Printf
-	}
+	return ServeWorkerOpts(ctx, ln, WorkerOpts{Logf: logf, Mon: mon})
+}
+
+// ServeWorkerOpts is ServeWorker with the full option set, including
+// fault-tolerant checkpointing.
+func ServeWorkerOpts(ctx context.Context, ln net.Listener, o WorkerOpts) error {
+	mon := o.Mon
 	stopCancel := context.AfterFunc(ctx, func() { ln.Close() })
 	defer stopCancel()
 	var wg sync.WaitGroup
@@ -53,7 +86,7 @@ func ServeWorkerMonitored(ctx context.Context, ln net.Listener, logf func(format
 				mon.SessionsStarted.Add(1)
 			}
 			start := time.Now()
-			err := HandleSessionMonitored(ctx, conn, conn, mon)
+			err := HandleSessionOpts(ctx, conn, conn, o)
 			if mon != nil {
 				mon.SessionLatency.Observe(time.Since(start))
 			}
@@ -61,7 +94,7 @@ func ServeWorkerMonitored(ctx context.Context, ln net.Listener, logf func(format
 				if mon != nil {
 					mon.SessionsFailed.Add(1)
 				}
-				logf("remote worker: session ended with error: %v", err)
+				o.logf("remote worker: session ended with error: %v", err)
 			} else if mon != nil {
 				mon.SessionsFinished.Add(1)
 			}
@@ -76,11 +109,57 @@ func ServeWorkerMonitored(ctx context.Context, ln net.Listener, logf func(format
 // over a blocking transport should additionally arrange for cancellation
 // to close the transport (ServeWorker does).
 func HandleSession(ctx context.Context, r io.Reader, w io.Writer) error {
-	return HandleSessionMonitored(ctx, r, w, nil)
+	return HandleSessionOpts(ctx, r, w, WorkerOpts{})
 }
 
 // HandleSessionMonitored is HandleSession with optional monitor counters.
 func HandleSessionMonitored(ctx context.Context, r io.Reader, w io.Writer, mon *Monitor) error {
+	return HandleSessionOpts(ctx, r, w, WorkerOpts{Mon: mon})
+}
+
+// checkpointPath names the checkpoint file for one FT session/task pair.
+func checkpointPath(dir string, sessionID uint64, task int) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016x-t%03d.ckpt", sessionID, task))
+}
+
+// writeCheckpointFile atomically replaces path with a fresh checkpoint of
+// j at cursor cur (write to a temp file, then rename).
+func writeCheckpointFile(path string, cur checkpoint.Cursor, j local.Joiner) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.Write(f, cur, j); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// HandleSessionOpts is HandleSession with the full worker option set.
+//
+// Fault-tolerant sessions (Hello flag FT) extend the plain protocol:
+//
+//   - a ResumeAck frame answers the hello, carrying the next record ID the
+//     worker expects — restored from its checkpoint when the hello asked
+//     to resume (and one exists), zero otherwise;
+//   - a hello with FT set but Resume clear discards any stale checkpoint
+//     for the session: the coordinator is rebuilding this worker's state
+//     from scratch and a later resume must not revive pre-rebuild state;
+//   - Ping frames are answered with a flushed Pong;
+//   - records with IDs at or below the resume cursor are dropped as
+//     duplicates (the coordinator replays at least the lost tail, and the
+//     fault-injection harness can duplicate frames outright);
+//   - the window is checkpointed periodically (CheckpointInterval) and on
+//     any unclean exit, and the checkpoint is removed on a clean EOF.
+func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOpts) error {
+	mon := o.Mon
 	wr := wire.NewWriter(w)
 	rd := wire.NewReader(r)
 
@@ -99,6 +178,9 @@ func HandleSessionMonitored(ctx context.Context, r io.Reader, w io.Writer, mon *
 	if err != nil {
 		return err
 	}
+	if h.FT && sess.Bi {
+		return errors.New("remote: fault-tolerant bi sessions unsupported")
+	}
 	opts := local.Options{
 		Params: sess.Params,
 		Window: sess.Window,
@@ -112,6 +194,47 @@ func HandleSessionMonitored(ctx context.Context, r io.Reader, w io.Writer, mon *
 		bi = local.NewBi(sess.Algorithm, opts)
 	} else {
 		joiner = local.New(sess.Algorithm, opts)
+	}
+
+	// FT handshake: restore or discard the checkpoint, then ack the cursor.
+	ckptPath := ""
+	if h.FT && o.CheckpointDir != "" {
+		ckptPath = checkpointPath(o.CheckpointDir, h.SessionID, h.Task)
+	}
+	var (
+		lastID   uint64
+		lastTime int64
+		haveLast bool
+	)
+	if h.FT {
+		next := uint64(0)
+		if h.Resume && ckptPath != "" {
+			if blob, rerr := os.ReadFile(ckptPath); rerr == nil {
+				cur, n, cerr := checkpoint.Read(bytes.NewReader(blob), joiner)
+				if cerr != nil {
+					// A torn or stale file must not poison the session:
+					// drop the partially-loaded joiner and start fresh.
+					o.logf("remote worker: checkpoint %s unreadable, starting fresh: %v", ckptPath, cerr)
+					joiner = local.New(sess.Algorithm, opts)
+				} else {
+					next = cur.NextID
+					lastTime = cur.NextTime - 1
+					if mon != nil {
+						mon.SessionsResumed.Add(1)
+					}
+					o.logf("remote worker: resumed session %016x task %d from checkpoint (%d records, next id %d)",
+						h.SessionID, h.Task, n, next)
+				}
+			}
+		} else if !h.Resume && ckptPath != "" {
+			os.Remove(ckptPath)
+		}
+		if next > 0 {
+			lastID, haveLast = next-1, true
+		}
+		if err := wr.WriteResumeAck(next); err != nil {
+			return fmt.Errorf("remote: writing resume ack: %w", err)
+		}
 	}
 
 	task, workers := h.Task, h.Workers
@@ -156,68 +279,124 @@ func HandleSessionMonitored(ctx context.Context, r io.Reader, w io.Writer, mon *
 		})
 	}
 
-	first := true
-	for {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("remote: session cancelled: %w", err)
+	saveCheckpoint := func() {
+		if ckptPath == "" || !haveLast {
+			return
 		}
-		typ, err := rd.Next()
-		if err != nil {
-			return fmt.Errorf("remote: reading frame: %w", err)
+		// Flush-consistency: a checkpoint's cursor may only cover records
+		// whose results are on the wire, or a resume would skip replaying
+		// them and their results would be lost with the dead connection.
+		// When the flush fails the connection is broken and the previous
+		// (flush-consistent) checkpoint stays in place.
+		if err := wr.Flush(); err != nil {
+			return
 		}
-		switch typ {
-		case wire.TypeSnapshot:
-			if !first {
-				return errors.New("remote: snapshot frame after records")
-			}
-			if bi != nil {
-				return errors.New("remote: snapshots unsupported for bi sessions")
-			}
-			blob := rd.ReadSnapshot()
-			if _, _, err := checkpoint.Read(bytes.NewReader(blob), joiner); err != nil {
-				return fmt.Errorf("remote: restoring snapshot: %w", err)
-			}
-			first = false
-		case wire.TypeRecord:
-			first = false
-			rt, err := rd.ReadRecord()
-			if err != nil {
-				return err
-			}
-			var rstart time.Time
-			if mon != nil {
-				mon.RecordsSeen.Add(1)
-				mon.InFlightRecords.Add(1)
-				rstart = time.Now()
-			}
-			if bi != nil {
-				bi.StepSide(rt.Rec, rt.Right, rt.Store, emit(rt.Rec))
-			} else {
-				joiner.Step(rt.Rec, rt.Store, emit(rt.Rec))
-			}
-			if mon != nil {
-				mon.RecordLatency.Observe(time.Since(rstart))
-				mon.InFlightRecords.Add(-1)
-			}
-			if writeErr != nil {
-				return fmt.Errorf("remote: writing result: %w", writeErr)
-			}
-		case wire.TypeEOF:
-			return sendStats()
-		case wire.TypeSnapshotReq:
-			if bi != nil {
-				return errors.New("remote: snapshots unsupported for bi sessions")
-			}
-			if err := sendStats(); err != nil {
-				return err
-			}
-			var blob bytes.Buffer
-			if err := checkpoint.Write(&blob, checkpoint.Cursor{}, joiner); err != nil {
-				return fmt.Errorf("remote: snapshotting: %w", err)
-			}
-			return wr.WriteSnapshot(blob.Bytes())
-		default:
-			return fmt.Errorf("remote: unexpected frame type %d", typ)
+		cur := checkpoint.Cursor{NextID: lastID + 1, NextTime: lastTime + 1}
+		if err := writeCheckpointFile(ckptPath, cur, joiner); err != nil {
+			o.logf("remote worker: checkpoint write failed: %v", err)
+			return
+		}
+		if mon != nil {
+			mon.CheckpointsWritten.Add(1)
 		}
 	}
+
+	lastCkpt := time.Now()
+	first := true
+	loop := func() error {
+		for {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("remote: session cancelled: %w", err)
+			}
+			typ, err := rd.Next()
+			if err != nil {
+				return fmt.Errorf("remote: reading frame: %w", err)
+			}
+			switch typ {
+			case wire.TypePing:
+				if err := wr.WritePong(); err != nil {
+					return fmt.Errorf("remote: writing pong: %w", err)
+				}
+			case wire.TypeSnapshot:
+				if !first {
+					return errors.New("remote: snapshot frame after records")
+				}
+				if bi != nil {
+					return errors.New("remote: snapshots unsupported for bi sessions")
+				}
+				if h.FT {
+					return errors.New("remote: snapshot seeding unsupported for ft sessions")
+				}
+				blob := rd.ReadSnapshot()
+				if _, _, err := checkpoint.Read(bytes.NewReader(blob), joiner); err != nil {
+					return fmt.Errorf("remote: restoring snapshot: %w", err)
+				}
+				first = false
+			case wire.TypeRecord:
+				first = false
+				rt, err := rd.ReadRecord()
+				if err != nil {
+					return err
+				}
+				if h.FT && haveLast && uint64(rt.Rec.ID) <= lastID {
+					// Replay overlap or an injected duplicate frame: the
+					// window already holds this record.
+					if mon != nil {
+						mon.DuplicateRecords.Add(1)
+					}
+					continue
+				}
+				var rstart time.Time
+				if mon != nil {
+					mon.RecordsSeen.Add(1)
+					mon.InFlightRecords.Add(1)
+					rstart = time.Now()
+				}
+				if bi != nil {
+					bi.StepSide(rt.Rec, rt.Right, rt.Store, emit(rt.Rec))
+				} else {
+					joiner.Step(rt.Rec, rt.Store, emit(rt.Rec))
+				}
+				if mon != nil {
+					mon.RecordLatency.Observe(time.Since(rstart))
+					mon.InFlightRecords.Add(-1)
+				}
+				if writeErr != nil {
+					return fmt.Errorf("remote: writing result: %w", writeErr)
+				}
+				lastID, lastTime, haveLast = uint64(rt.Rec.ID), rt.Rec.Time, true
+				if ckptPath != "" && o.CheckpointInterval > 0 && time.Since(lastCkpt) >= o.CheckpointInterval {
+					saveCheckpoint()
+					lastCkpt = time.Now()
+				}
+			case wire.TypeEOF:
+				return sendStats()
+			case wire.TypeSnapshotReq:
+				if bi != nil {
+					return errors.New("remote: snapshots unsupported for bi sessions")
+				}
+				if err := sendStats(); err != nil {
+					return err
+				}
+				var blob bytes.Buffer
+				if err := checkpoint.Write(&blob, checkpoint.Cursor{}, joiner); err != nil {
+					return fmt.Errorf("remote: snapshotting: %w", err)
+				}
+				return wr.WriteSnapshot(blob.Bytes())
+			default:
+				return fmt.Errorf("remote: unexpected frame type %d", typ)
+			}
+		}
+	}
+	err = loop()
+	if ckptPath != "" {
+		if err != nil {
+			// Unclean end: persist the window so a resuming coordinator
+			// replays only the tail.
+			saveCheckpoint()
+		} else {
+			os.Remove(ckptPath)
+		}
+	}
+	return err
 }

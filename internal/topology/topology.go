@@ -7,11 +7,13 @@
 package topology
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/bundle"
+	"repro/internal/checkpoint"
 	"repro/internal/dispatch"
 	"repro/internal/filter"
 	"repro/internal/local"
@@ -103,6 +105,16 @@ type Config struct {
 	// Tracer, when set and enabled, samples tuple lineages end to end
 	// (emit → dispatch → queue → process/verify → deliver).
 	Tracer *obs.Tracer
+	// Checkpoint captures every worker's window state at stream end into
+	// Result.Checkpoints, one serialized checkpoint per task. Self-join
+	// runs only.
+	Checkpoint bool
+	// Restore seeds worker joiners from a prior run's Result.Checkpoints
+	// (one entry per task, in task order; empty entries start fresh). The
+	// restoring run must use the same Workers, Strategy, Algorithm, Params,
+	// Window and Bundle configuration, and its records must continue the
+	// ID/time sequence of the checkpointed stream. Self-join runs only.
+	Restore [][]byte
 }
 
 func (c Config) validate() error {
@@ -143,6 +155,10 @@ type Result struct {
 	LateDrops uint64
 	// Report is the raw engine report.
 	Report *stream.Report
+	// Checkpoints holds each worker's serialized window state when
+	// Config.Checkpoint was set (index = task). Feed it to a later run's
+	// Config.Restore to continue the stream where this run stopped.
+	Checkpoints [][]byte
 }
 
 // Throughput returns the end-to-end record rate.
@@ -226,14 +242,14 @@ func (d dispatcherBolt) Execute(t stream.Tuple, em stream.Emitter) {
 // workerBolt hosts one local joiner and applies the strategy's store and
 // emit arbitration.
 type workerBolt struct {
-	task      int
-	k         int
-	strat     dispatch.Strategy
-	joiner    local.Joiner
-	lat       metrics.Latency
+	task   int
+	k      int
+	strat  dispatch.Strategy
+	joiner local.Joiner
+	lat    metrics.Latency
 	// slat replaces lat on instrumented runs so scrapes can snapshot the
 	// histogram while the worker goroutine observes.
-	slat *metrics.SyncLatency
+	slat      *metrics.SyncLatency
 	stored    uint64
 	results   uint64
 	wirePerB  int
@@ -394,9 +410,15 @@ func (s *sinkBolt) Execute(t stream.Tuple, _ stream.Emitter) {
 // Run executes one self-join over the record slice and returns the
 // summary.
 func Run(recs []*record.Record, cfg Config) (*Result, error) {
+	// The checkpoint cursor continues the stream's own stamping: the next
+	// run's records follow the last ID and tick this run consumed.
+	var cur checkpoint.Cursor
+	if n := len(recs); n > 0 {
+		cur = checkpoint.Cursor{NextID: uint64(recs[n-1].ID) + 1, NextTime: recs[n-1].Time + 1}
+	}
 	return run(cfg, uint64(len(recs)), func(int) stream.Spout {
 		return &sourceSpout{recs: recs, tracer: cfg.Tracer}
-	}, false)
+	}, false, cur)
 }
 
 // RunBi executes one two-stream (R⋈S) join over the side-tagged stream:
@@ -405,12 +427,15 @@ func Run(recs []*record.Record, cfg Config) (*Result, error) {
 func RunBi(recs []BiRecord, cfg Config) (*Result, error) {
 	return run(cfg, uint64(len(recs)), func(int) stream.Spout {
 		return &biSourceSpout{recs: recs, tracer: cfg.Tracer}
-	}, true)
+	}, true, checkpoint.Cursor{})
 }
 
-func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Result, error) {
+func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur checkpoint.Cursor) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if bi && (cfg.Checkpoint || len(cfg.Restore) > 0) {
+		return nil, fmt.Errorf("topology: Checkpoint/Restore support self-join runs only")
 	}
 	if cfg.Window == nil {
 		cfg.Window = window.Unbounded{}
@@ -445,6 +470,29 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Res
 	}, cfg.Dispatchers).SubscribeTo("source", stream.Shuffle{})
 
 	k := cfg.Workers
+	jopts := local.Options{
+		Params: cfg.Params,
+		Window: cfg.Window,
+		Bundle: cfg.Bundle,
+	}
+	// Restore happens before topology construction so a corrupt checkpoint
+	// fails the run cleanly instead of inside a bolt factory.
+	var restored []local.Joiner
+	if len(cfg.Restore) > 0 {
+		if len(cfg.Restore) != k {
+			return nil, fmt.Errorf("topology: Restore has %d checkpoints for %d workers", len(cfg.Restore), k)
+		}
+		restored = make([]local.Joiner, k)
+		for i, b := range cfg.Restore {
+			j := local.New(cfg.Algorithm, jopts)
+			if len(b) > 0 {
+				if _, _, err := checkpoint.Read(bytes.NewReader(b), j); err != nil {
+					return nil, fmt.Errorf("topology: restoring worker %d: %w", i, err)
+				}
+			}
+			restored[i] = j
+		}
+	}
 	routeGrouping := stream.PartitionFunc(func(t stream.Tuple, n int, buf []int) []int {
 		return cfg.Strategy.Route(t.(RecTuple).Rec, n, buf)
 	})
@@ -458,21 +506,19 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Res
 		slack = uint64(cfg.Dispatchers)*perDispatcher + 64
 	}
 	tp.AddBolt("worker", func(task int) stream.Bolt {
-		opts := local.Options{
-			Params: cfg.Params,
-			Window: cfg.Window,
-			Bundle: cfg.Bundle,
-		}
 		w := &workerBolt{
 			task:     task,
 			k:        k,
 			strat:    cfg.Strategy,
 			wirePerB: cfg.WireNsPerByte,
 		}
-		if bi {
-			w.bi = local.NewBi(cfg.Algorithm, opts)
-		} else {
-			w.joiner = local.New(cfg.Algorithm, opts)
+		switch {
+		case bi:
+			w.bi = local.NewBi(cfg.Algorithm, jopts)
+		case restored != nil:
+			w.joiner = restored[task]
+		default:
+			w.joiner = local.New(cfg.Algorithm, jopts)
 		}
 		if slack > 0 {
 			w.reorder = reorder.New(slack, func(rt RecTuple) uint64 { return uint64(rt.Rec.ID) })
@@ -505,8 +551,18 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool) (*Res
 	if e, ok := rep.Edges[stream.EdgeKey{From: "dispatcher", To: "worker"}]; ok {
 		res.CommBytes = e.Bytes.Load()
 	}
-	for _, b := range rep.Bolts["worker"] {
+	if cfg.Checkpoint {
+		res.Checkpoints = make([][]byte, k)
+	}
+	for i, b := range rep.Bolts["worker"] {
 		w := b.(*workerBolt)
+		if cfg.Checkpoint {
+			var buf bytes.Buffer
+			if err := checkpoint.Write(&buf, cur, w.joiner); err != nil {
+				return nil, fmt.Errorf("topology: checkpointing worker %d: %w", i, err)
+			}
+			res.Checkpoints[i] = buf.Bytes()
+		}
 		if w.bi != nil {
 			cl, cr := w.bi.CostLeft(), w.bi.CostRight()
 			res.WorkerCosts = append(res.WorkerCosts, local.Cost{

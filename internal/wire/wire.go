@@ -7,10 +7,12 @@
 //
 //	[type: 1 byte][payload length: uvarint][payload]
 //
-// The protocol is strictly request/response-free: the coordinator streams
-// Hello, Record... , EOF; the worker streams Result..., Stats, and closes.
-// Both sides therefore run one reader and one writer goroutine with no
-// locking.
+// The protocol is request/response-free on the data path: the coordinator
+// streams Hello, Record... , EOF; the worker streams Result..., Stats, and
+// closes. Both sides therefore run one reader and one writer goroutine
+// with no locking. Fault-tolerant sessions (Hello flag FT, protocol v2)
+// add three control frames outside the data path: Ping/Pong liveness
+// probes and the ResumeAck cursor answer to a resuming Hello.
 package wire
 
 import (
@@ -41,11 +43,24 @@ const (
 	// TypeSnapshotReq replaces TypeEOF when the coordinator wants the
 	// worker's window state back; payload-free like TypeEOF.
 	TypeSnapshotReq
+	// TypePing is a coordinator→worker liveness probe; payload-free and
+	// flushed immediately so it cannot sit in the write buffer.
+	TypePing
+	// TypePong is the worker's payload-free answer to TypePing, likewise
+	// flushed immediately.
+	TypePong
+	// TypeResumeAck answers a resuming Hello (flag bit 2): the worker
+	// reports the stream cursor it restored from its checkpoint so the
+	// coordinator can replay only the tail. Payload is one uvarint — the
+	// next record ID the worker expects (0 = nothing restored, replay all).
+	TypeResumeAck
 )
 
 // Version is the protocol version carried in Hello; mismatches are
-// rejected at handshake.
-const Version = 1
+// rejected at handshake. Version 2 added the fault-tolerance handshake:
+// Hello carries a session ID plus FT/Resume flags, and the Ping, Pong and
+// ResumeAck frame types exist.
+const Version = 2
 
 // MaxFrame bounds a frame payload; larger frames indicate corruption.
 const MaxFrame = 1 << 24
@@ -75,6 +90,16 @@ type Hello struct {
 	// Bi marks a two-stream session: records carry a side flag and match
 	// only across sides.
 	Bi bool
+	// FT marks a fault-tolerant session: the coordinator may ping, record
+	// IDs are strictly increasing per connection (so the worker can drop
+	// duplicates), and the worker checkpoints its window for recovery.
+	FT bool
+	// Resume asks the worker to restore the checkpoint saved under
+	// SessionID/Task before answering with a ResumeAck frame.
+	Resume bool
+	// SessionID names the run across reconnects; FT checkpoints are keyed
+	// by it. Zero for non-FT sessions.
+	SessionID uint64
 }
 
 // Record is a routed record copy with its storage role and, for
@@ -165,7 +190,14 @@ func (w *Writer) WriteHello(h Hello) error {
 	if h.Bi {
 		flags |= 2
 	}
+	if h.FT {
+		flags |= 4
+	}
+	if h.Resume {
+		flags |= 8
+	}
 	w.buf = append(w.buf, flags)
+	w.putUvarint(h.SessionID)
 	return w.flushFrame(TypeHello)
 }
 
@@ -237,6 +269,35 @@ func (w *Writer) WriteSnapshot(blob []byte) error {
 // worker to append its window snapshot after the stats frame.
 func (w *Writer) WriteSnapshotReq() error {
 	if err := w.flushFrame(TypeSnapshotReq); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WritePing sends a liveness probe and flushes it to the connection so the
+// peer sees it immediately.
+func (w *Writer) WritePing() error {
+	if err := w.flushFrame(TypePing); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WritePong answers a ping; flushed like WritePing.
+func (w *Writer) WritePong() error {
+	if err := w.flushFrame(TypePong); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteResumeAck reports the restored stream cursor of a resuming session:
+// nextID is the first record ID the worker has NOT yet seen (0 when no
+// checkpoint was found). Flushed so the coordinator can start its replay
+// without waiting for buffer pressure.
+func (w *Writer) WriteResumeAck(nextID uint64) error {
+	w.putUvarint(nextID)
+	if err := w.flushFrame(TypeResumeAck); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -382,10 +443,22 @@ func (r *Reader) ReadHello() (Hello, error) {
 	}
 	h.OneByOne = ob&1 != 0
 	h.Bi = ob&2 != 0
+	h.FT = ob&4 != 0
+	h.Resume = ob&8 != 0
+	if h.SessionID, err = p.uvarint(); err != nil {
+		return h, err
+	}
 	if h.Version != Version {
 		return h, fmt.Errorf("wire: protocol version %d, want %d", h.Version, Version)
 	}
 	return h, nil
+}
+
+// ReadResumeAck decodes a staged ResumeAck frame into the worker's next
+// expected record ID.
+func (r *Reader) ReadResumeAck() (uint64, error) {
+	p := payload{b: r.buf}
+	return p.uvarint()
 }
 
 // ReadRecord decodes a staged Record frame.

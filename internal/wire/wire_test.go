@@ -46,6 +46,54 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloFTRoundTrip(t *testing.T) {
+	h := Hello{
+		Version: Version, Task: 1, Workers: 4, Func: 0, Threshold: 0.7,
+		Strategy: 2, Bounds: []int{},
+		FT: true, Resume: true, SessionID: 0xDEADBEEFCAFE,
+	}
+	r := roundTripFrames(t, func(w *Writer) error { return w.WriteHello(h) })
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadHello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("ft hello mismatch:\ngot  %+v\nwant %+v", got, h)
+	}
+}
+
+func TestControlFramesRoundTrip(t *testing.T) {
+	r := roundTripFrames(t, func(w *Writer) error {
+		if err := w.WritePing(); err != nil {
+			return err
+		}
+		if err := w.WritePong(); err != nil {
+			return err
+		}
+		return w.WriteResumeAck(123456789)
+	})
+	for _, want := range []byte{TypePing, TypePong} {
+		typ, err := r.Next()
+		if err != nil || typ != want {
+			t.Fatalf("control frame: got %v %v, want %v", typ, err, want)
+		}
+	}
+	typ, err := r.Next()
+	if err != nil || typ != TypeResumeAck {
+		t.Fatalf("resume-ack frame: %v %v", typ, err)
+	}
+	next, err := r.ReadResumeAck()
+	if err != nil || next != 123456789 {
+		t.Fatalf("resume-ack cursor: %d %v", next, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
 func TestHelloVersionRejected(t *testing.T) {
 	h := Hello{Version: Version + 1, Bounds: []int{}}
 	r := roundTripFrames(t, func(w *Writer) error { return w.WriteHello(h) })
