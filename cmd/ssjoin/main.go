@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -49,6 +50,7 @@ func main() {
 		dist    = flag.String("dist", "length", "distribution: length, prefix, broadcast")
 		part    = flag.String("part", "load-aware", "length partitioner: load-aware, even-length, even-frequency")
 		workers = flag.Int("workers", 4, "worker parallelism")
+		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "verifier goroutines per worker (bundle algorithm, in-process runs): candidate verification fans out across cores with deterministic output; 1 disables")
 		win     = flag.Int64("window", 0, "count window (0 = unbounded)")
 		pairs   = flag.Bool("pairs", false, "print result pairs")
 		asJSON  = flag.Bool("json", false, "print the run summary as JSON on stdout")
@@ -106,6 +108,7 @@ func main() {
 	cfg := ssjoin.DistributedConfig{
 		Workers:      *workers,
 		CollectPairs: *pairs,
+		Parallelism:  *par,
 	}
 	cfg.Threshold = *tau
 	cfg.WindowRecords = *win

@@ -43,12 +43,16 @@ type runRecord struct {
 	Metrics         []obs.MetricSnapshot `json:"metrics,omitempty"`
 }
 
-// jsonReport is the top-level -json document.
+// jsonReport is the top-level -json document. GOMAXPROCS and Parallel pin
+// the machine's core budget and the verifier-pool setting each run used,
+// so BENCH_*.json entries stay comparable across machines.
 type jsonReport struct {
 	Records       int         `json:"records"`
 	Workers       int         `json:"workers"`
 	Seed          int64       `json:"seed"`
 	Batch         int         `json:"batch"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Parallel      int         `json:"parallel"`
 	TraceEvery    int         `json:"trace_every,omitempty"`
 	TracesSampled uint64      `json:"traces_sampled,omitempty"`
 	Experiments   []runRecord `json:"experiments"`
@@ -61,6 +65,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker parallelism (default: experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (default: experiment default)")
 		batch   = flag.Int("batch", 0, "transport batch size (0 = engine default, 1 = unbatched)")
+		par     = flag.Int("parallel", 1, "verifier goroutines per worker (bundle algorithm): >1 fans candidate verification across cores with deterministic results")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		format  = flag.String("format", "text", "output format: text or csv")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -105,6 +110,9 @@ func main() {
 	if *batch > 0 {
 		scale.Batch = *batch
 	}
+	if *par > 1 {
+		scale.Parallel = *par
+	}
 
 	// Observability is opt-in: the registry (and the per-run instrumentation
 	// it switches on inside the engine) only exists when something will
@@ -146,12 +154,14 @@ func main() {
 	}
 
 	if *format == "text" {
-		fmt.Printf("scale: records=%d workers=%d seed=%d batch=%d\n\n",
-			scale.Records, scale.Workers, scale.Seed, scale.Batch)
+		fmt.Printf("scale: records=%d workers=%d seed=%d batch=%d parallel=%d gomaxprocs=%d\n\n",
+			scale.Records, scale.Workers, scale.Seed, scale.Batch, scale.ParallelOrOne(), runtime.GOMAXPROCS(0))
 	}
 	report := jsonReport{
 		Records: scale.Records, Workers: scale.Workers,
 		Seed: scale.Seed, Batch: scale.Batch,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   scale.ParallelOrOne(),
 	}
 	var ms runtime.MemStats
 	for _, e := range runs {

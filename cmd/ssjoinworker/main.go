@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -39,6 +40,7 @@ func run() int {
 		httpAddr = flag.String("http", "", "optional HTTP address serving /healthz, /stats, /metrics, /debug/traces, and /debug/pprof")
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for fault-tolerant session checkpoints (empty disables persistence; FT sessions then resume from scratch)")
 		ckptIvl  = flag.Duration("checkpoint-interval", 0, "minimum spacing between periodic window checkpoints (0: checkpoint only on unclean session exit)")
+		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "verifier goroutines per session (bundle algorithm): candidate verification fans out across cores with deterministic output; 1 disables")
 	)
 	flag.Parse()
 	if *ckptDir != "" {
@@ -94,6 +96,7 @@ func run() int {
 		Logf:               log.Printf,
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptIvl,
+		Parallelism:        *par,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssjoinworker:", err)

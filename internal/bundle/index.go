@@ -100,7 +100,8 @@ type Index struct {
 	live  *LiveStats // optional atomic mirror, see PublishLive
 
 	// probe scratch
-	seen map[uint64]struct{}
+	seen  map[uint64]struct{}
+	cands []*Bundle
 	// trial is insert-path scratch for the candidate core intersection
 	// (single-writer like the rest of the index, so a plain reused slice
 	// beats pooling here; pooled buffers cover the shared helpers in
@@ -204,8 +205,29 @@ func (bx *Index) Evict(nowSeq record.ID, nowTime int64) {
 // there is no match). Verification is exact; emitted overlaps are true
 // intersection sizes.
 func (bx *Index) Probe(r *record.Record, emit func(Match)) (best Insertion, ok bool) {
-	la := r.Len()
-	p := bx.params.PrefixLen(la)
+	cands := bx.collectCandidates(r)
+	for _, b := range cands {
+		if m, found := bx.probeBundle(r, b, &bx.stats, emit); found {
+			if !ok || m.Sim > best.Sim {
+				best, ok = m, true
+			}
+		}
+	}
+	bx.publish()
+	return best, ok
+}
+
+// collectCandidates walks the posting lists of r's prefix tokens, compacts
+// dead postings in place, and returns the distinct candidate bundles in
+// first-discovery order (the order Probe has always verified them in).
+// This is the single-writer half of the probe path: every posting-list
+// mutation happens here, before verification starts, so the verify phase
+// that follows — serial in Probe, fanned out in ProbePar — reads an index
+// nobody is writing. The returned slice is scratch owned by the index and
+// valid until the next collectCandidates call.
+func (bx *Index) collectCandidates(r *record.Record) []*Bundle {
+	cands := bx.cands[:0]
+	p := bx.params.PrefixLen(r.Len())
 	for i := 0; i < p; i++ {
 		tok := r.Tokens[i]
 		list, have := bx.posts[tok]
@@ -227,11 +249,7 @@ func (bx *Index) Probe(r *record.Record, emit func(Match)) (best Insertion, ok b
 			}
 			bx.seen[b.ID] = struct{}{}
 			bx.stats.BundleCands++
-			if m, found := bx.probeBundle(r, b, emit); found {
-				if !ok || m.Sim > best.Sim {
-					best, ok = m, true
-				}
-			}
+			cands = append(cands, b)
 		}
 		if w == 0 {
 			delete(bx.posts, tok)
@@ -242,8 +260,8 @@ func (bx *Index) Probe(r *record.Record, emit func(Match)) (best Insertion, ok b
 	for id := range bx.seen {
 		delete(bx.seen, id)
 	}
-	bx.publish()
-	return best, ok
+	bx.cands = cands
+	return cands
 }
 
 // Insertion names the bundle an incoming record should join.
@@ -253,14 +271,21 @@ type Insertion struct {
 }
 
 // probeBundle filters and verifies r against one candidate bundle, emitting
-// matches and returning the best-match insertion hint.
-func (bx *Index) probeBundle(r *record.Record, b *Bundle, emit func(Match)) (Insertion, bool) {
+// matches and returning the best-match insertion hint. Work counters go to
+// st — &bx.stats on the serial path, a per-goroutine VerifyCtx on the pool
+// path — so concurrent verifiers never share a counter cache line.
+//
+// parcheck: runs on the verifier pool. It must only read the index (params,
+// cfg, postings, bundles): any index mutation belongs in collectCandidates
+// or the insert/evict path, which run strictly before and after the fanned
+// verify phase.
+func (bx *Index) probeBundle(r *record.Record, b *Bundle, st *Stats, emit func(Match)) (Insertion, bool) {
 	la := r.Len()
 	// Bundle-level length range check.
 	lo, hi := bx.params.LengthBounds(la)
 	bmin, bmax := b.MinLen(), b.MaxLen()
 	if bmax < lo || bmin > hi {
-		bx.stats.BundleLenSkip++
+		st.BundleLenSkip++
 		return Insertion{}, false
 	}
 	reqMin := bx.minRequired(la, bmin, bmax, lo, hi)
@@ -276,17 +301,17 @@ func (bx *Index) probeBundle(r *record.Record, b *Bundle, emit func(Match)) (Ins
 		if lb < lo || lb > hi {
 			return Insertion{}, false
 		}
-		bx.stats.MemberChecks++
+		st.MemberChecks++
 		req := bx.params.RequiredOverlap(la, lb)
 		o, steps, ok := overlapStepsBounded(r.Tokens, m.Rec.Tokens, req)
-		bx.stats.SingletonFast++
-		bx.stats.VerifySteps += uint64(steps)
-		bx.stats.Verified++
+		st.SingletonFast++
+		st.VerifySteps += uint64(steps)
+		st.Verified++
 		if !ok {
 			return Insertion{}, false
 		}
 		sim := similarity.FromOverlap(bx.params.Func, o, la, lb)
-		bx.stats.Results++
+		st.Results++
 		emit(Match{Rec: m.Rec, Overlap: o, Sim: sim})
 		return Insertion{Bundle: b, Sim: sim}, true
 	}
@@ -295,10 +320,10 @@ func (bx *Index) probeBundle(r *record.Record, b *Bundle, emit func(Match)) (Ins
 	// for every member y. One early-terminating merge prunes the whole
 	// bundle; on success the overlap is exact and reused per member.
 	unionO, usteps, uok := overlapStepsBounded(r.Tokens, b.Union, reqMin)
-	bx.stats.UnionOverlaps++
-	bx.stats.UnionSteps += uint64(usteps)
+	st.UnionOverlaps++
+	st.UnionSteps += uint64(usteps)
 	if !uok {
-		bx.stats.BundleUBSkip++
+		st.BundleUBSkip++
 		return Insertion{}, false
 	}
 
@@ -317,45 +342,66 @@ func (bx *Index) probeBundle(r *record.Record, b *Bundle, emit func(Match)) (Ins
 		if lb < lo || lb > hi {
 			continue
 		}
-		bx.stats.MemberChecks++
+		st.MemberChecks++
 		req := bx.params.RequiredOverlap(la, lb)
 		ub := unionO
 		if lb < ub {
 			ub = lb
 		}
 		if ub < req {
-			bx.stats.MemberUBSkip++
+			st.MemberUBSkip++
 			continue
 		}
 		var o int
 		if bx.cfg.OneByOneVerify {
 			var steps int
 			o, steps = overlapSteps(r.Tokens, m.Rec.Tokens)
-			bx.stats.VerifySteps += uint64(steps)
+			st.VerifySteps += uint64(steps)
 		} else {
 			if !haveCore {
 				coreO, coreSteps = overlapSteps(r.Tokens, b.Core)
 				haveCore = true
-				bx.stats.CoreOverlaps++
-				bx.stats.CoreSteps += uint64(coreSteps)
-				bx.stats.VerifySteps += uint64(coreSteps)
+				st.CoreOverlaps++
+				st.CoreSteps += uint64(coreSteps)
+				st.VerifySteps += uint64(coreSteps)
 			}
 			dO, dSteps := overlapSteps(r.Tokens, m.Delta)
-			bx.stats.VerifySteps += uint64(dSteps)
+			st.VerifySteps += uint64(dSteps)
 			o = coreO + dO
 		}
-		bx.stats.Verified++
+		st.Verified++
 		if o < req {
 			continue
 		}
 		sim := similarity.FromOverlap(bx.params.Func, o, la, lb)
-		bx.stats.Results++
+		st.Results++
 		emit(Match{Rec: m.Rec, Overlap: o, Sim: sim})
 		if !found || sim > best.Sim {
 			best, found = Insertion{Bundle: b, Sim: sim}, true
 		}
 	}
 	return best, found
+}
+
+// mergeVerify folds the verify-phase counters a VerifyCtx accumulated into
+// s. Only the counters probeBundle writes are listed: everything else in
+// Stats belongs to the single-writer collect/insert/evict path and never
+// appears in a per-goroutine context. All listed counters are commutative
+// sums, so the fold order across contexts cannot change the totals — a
+// parallel run reports exactly the sequential numbers.
+func (s *Stats) mergeVerify(o *Stats) {
+	s.BundleLenSkip += o.BundleLenSkip
+	s.BundleUBSkip += o.BundleUBSkip
+	s.MemberChecks += o.MemberChecks
+	s.MemberUBSkip += o.MemberUBSkip
+	s.Verified += o.Verified
+	s.Results += o.Results
+	s.VerifySteps += o.VerifySteps
+	s.CoreSteps += o.CoreSteps
+	s.UnionOverlaps += o.UnionOverlaps
+	s.UnionSteps += o.UnionSteps
+	s.CoreOverlaps += o.CoreOverlaps
+	s.SingletonFast += o.SingletonFast
 }
 
 // Dump visits every live member record in arrival order; returning false

@@ -309,3 +309,34 @@ func E12(sc Scale) *Table {
 	}
 	return t
 }
+
+// E20 is the intra-worker core-scaling sweep: fixed worker count, verifier
+// pool size P swept over {1,2,4,8}. The parallel probe merges results in
+// deterministic order, so the result count is identical at every P — the
+// table doubles as a parity check. Speedup is throughput relative to P=1
+// and needs GOMAXPROCS >= P to materialize; on a single-core box every P
+// collapses to sequential throughput minus pool overhead.
+func E20(sc Scale) *Table {
+	t := &Table{
+		ID:      "E20",
+		Title:   "Intra-worker parallel verify: throughput vs pool size (extension)",
+		Columns: []string{"parallel", "rec/s", "results", "speedup"},
+		Notes:   "bundle algorithm, AOL-like, τ=0.8, length distribution; results identical at every P (deterministic merge); speedup requires GOMAXPROCS >= P·workers",
+	}
+	recs := genProfile(workload.AOLLike(sc.Seed), sc.Records)
+	p := jaccard(0.8)
+	k := sc.Workers
+	strat := strategyFor("length", p, recs, k)
+	var base float64
+	for _, par := range []int{1, 2, 4, 8} {
+		scp := sc
+		scp.Parallel = par
+		res := runTopology(scp, recs, strat, p, k, local.Bundled, nil)
+		thr := res.Throughput().PerSecond()
+		if base == 0 {
+			base = thr
+		}
+		t.AddRow(par, thr, res.Results, thr/base)
+	}
+	return t
+}

@@ -178,6 +178,7 @@ func All() []*Analyzer {
 		DetCheck,
 		ObsCheck,
 		RetryCheck,
+		ParCheck,
 	}
 }
 

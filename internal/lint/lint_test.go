@@ -22,6 +22,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{DetCheck, "detcheck"},
 		{ObsCheck, "obscheck"},
 		{RetryCheck, "retrycheck"},
+		{ParCheck, "parcheck"},
 	}
 	for _, c := range cases {
 		c := c
@@ -42,7 +43,7 @@ func TestFixturesAreKnownBad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dirs) < 7 {
+	if len(dirs) < 8 {
 		t.Fatalf("expected a fixture dir per analyzer, found %d", len(dirs))
 	}
 	for _, d := range dirs {
@@ -66,7 +67,7 @@ func TestFixturesAreKnownBad(t *testing.T) {
 // TestByName checks suite lookup and the unknown-analyzer error.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 7 {
+	if err != nil || len(all) != 8 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("lockcheck, detcheck")

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// ParCheck enforces the verifier-pool write discipline introduced with the
+// parallel probe/verify stage: a function whose doc comment carries the
+// marker
+//
+//	parcheck: runs on the verifier pool
+//
+// executes concurrently on pool goroutines during the read-only verify
+// phase, so it must not write any struct field annotated `// guarded by
+// <mu>` — not even with the mutex held. The guarded-by annotation declares
+// shared mutable state; the pool's determinism and lock-freedom rest on
+// the verify phase never touching such state (all index mutation belongs
+// to the collect/insert/evict phases, which run strictly before and after
+// the fan-out). Writes are assignments, compound assignments and ++/--
+// whose target is (or indexes into) a guarded field; function literals
+// declared inside a marked function inherit the constraint, since the
+// pool may run them too. The analysis is intraprocedural like lockcheck:
+// helpers a marked function calls are not traversed — mark them as well
+// when they run on the pool.
+var ParCheck = &Analyzer{
+	Name: "parcheck",
+	Doc:  "verifier-pool functions must not write guarded-by fields",
+	Run:  runParCheck,
+}
+
+var poolMarkerRe = regexp.MustCompile(`parcheck: runs on the verifier pool`)
+
+func runParCheck(pass *Pass) error {
+	// Collect every field carrying a guarded-by annotation. Unlike
+	// lockcheck, the annotation's mutex target does not matter here: the
+	// annotation itself declares "shared mutable state", which is exactly
+	// what the verify phase must keep its hands off.
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				ann := fieldAnnotation(field)
+				if ann == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guarded[obj] = ann
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			if !poolMarkerRe.MatchString(fd.Doc.Text()) {
+				continue
+			}
+			checkPoolWrites(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// checkPoolWrites reports every write to a guarded field inside fd's body,
+// function literals included.
+func checkPoolWrites(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Var]string) {
+	report := func(target ast.Expr) {
+		field := guardedField(pass, target, guarded)
+		if field == nil {
+			return
+		}
+		pass.Reportf(target.Pos(),
+			"field %s is guarded by %s but written from %s, which runs on the verifier pool",
+			field.Name(), guarded[field], fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			report(x.X)
+		}
+		return true
+	})
+}
+
+// guardedField resolves a write target to a guarded struct field, seeing
+// through parentheses, dereferences and indexing so both `s.f = v` and
+// `s.f[i] = v` count as writes to f.
+func guardedField(pass *Pass, e ast.Expr, guarded map[*types.Var]string) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			fsel, ok := pass.Info.Selections[x]
+			if !ok || fsel.Kind() != types.FieldVal {
+				return nil
+			}
+			field, ok := fsel.Obj().(*types.Var)
+			if !ok {
+				return nil
+			}
+			if _, is := guarded[field]; is {
+				return field
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package parfix exercises parcheck: functions marked as running on the
+// verifier pool must not write guarded-by fields, even with the lock held.
+package parfix
+
+import "sync"
+
+type index struct {
+	mu    sync.Mutex
+	size  int   // guarded by mu
+	slots []int // guarded by mu
+	hits  int
+}
+
+// serialInsert mutates freely: it is not marked, so it runs on the
+// single-writer insert path and parcheck leaves it alone.
+func (ix *index) serialInsert() {
+	ix.mu.Lock()
+	ix.size++
+	ix.mu.Unlock()
+}
+
+// goodVerify reads guarded state and writes only locals.
+//
+// parcheck: runs on the verifier pool.
+func (ix *index) goodVerify() int {
+	total := ix.size
+	total += ix.hits
+	return total
+}
+
+// badVerify writes a guarded field from the pool.
+//
+// parcheck: runs on the verifier pool.
+func (ix *index) badVerify() {
+	ix.size = 0 // want "guarded by mu but written from badVerify"
+}
+
+// badVerifyLocked holds the mutex, which does not help: pool stints must
+// stay lock-free and read-only.
+//
+// parcheck: runs on the verifier pool.
+func (ix *index) badVerifyLocked() {
+	ix.mu.Lock()
+	ix.size++ // want "guarded by mu but written from badVerifyLocked"
+	ix.mu.Unlock()
+}
+
+// badVerifyIndexed writes through an element of a guarded slice.
+//
+// parcheck: runs on the verifier pool.
+func (ix *index) badVerifyIndexed(i int) {
+	ix.slots[i] = 7 // want "guarded by mu but written from badVerifyIndexed"
+}
+
+// badVerifyClosure inherits the constraint inside a function literal.
+//
+// parcheck: runs on the verifier pool.
+func (ix *index) badVerifyClosure() func() {
+	return func() {
+		ix.size-- // want "guarded by mu but written from badVerifyClosure"
+	}
+}
+
+// unguardedWriteIsFine: only guarded-by fields are protected; hits carries
+// no annotation.
+//
+// parcheck: runs on the verifier pool.
+func (ix *index) unguardedWriteIsFine() {
+	ix.hits++
+}
+
+// ignoredWrite shows the escape hatch for a write proven safe by other
+// means (here: a caller-side barrier before the pool starts).
+//
+// parcheck: runs on the verifier pool.
+func (ix *index) ignoredWrite() {
+	//lint:ignore parcheck reset happens before any pool goroutine observes ix
+	ix.size = 0
+}

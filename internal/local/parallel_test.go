@@ -1,0 +1,136 @@
+package local
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// stepStream drives a full store=true stream through j and returns the
+// ordered flat match stream (probe, partner, overlap, sim).
+func stepStream(j Joiner, recs []*record.Record) [][4]float64 {
+	var out [][4]float64
+	for _, r := range recs {
+		j.Step(r, true, func(m Match) {
+			out = append(out, [4]float64{float64(r.ID), float64(m.Rec.ID), float64(m.Overlap), m.Sim})
+		})
+	}
+	return out
+}
+
+// TestParallelParityLocalJoiner checks the joiner-level determinism
+// contract: a Bundled joiner with any verifier-pool size must emit the
+// byte-identical ordered match stream and accumulate the identical Cost as
+// the sequential joiner.
+func TestParallelParityLocalJoiner(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(19)).Generate(600)
+	opt := Options{
+		Params: filter.Params{Func: similarity.Jaccard, Threshold: 0.6},
+		Window: window.Count{N: 150},
+	}
+	ref := New(Bundled, opt)
+	want := stepStream(ref, recs)
+	wantCost := ref.Cost()
+	if len(want) == 0 {
+		t.Fatal("degenerate workload: no matches")
+	}
+	for _, p := range []int{2, 4, 8} {
+		po := opt
+		po.Parallelism = p
+		j := New(Bundled, po)
+		got := stepStream(j, recs)
+		gotCost := j.Cost()
+		CloseJoiner(j)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("P=%d: match stream differs (%d vs %d entries)", p, len(got), len(want))
+		}
+		if gotCost != wantCost {
+			t.Fatalf("P=%d: cost differs:\n got  %+v\n want %+v", p, gotCost, wantCost)
+		}
+	}
+}
+
+// TestCloseJoinerFallsBackSequential: closing a parallel joiner releases
+// its pool but keeps it correct — subsequent steps run sequentially and the
+// whole stream still matches the sequential reference. CloseJoiner must
+// also be safe on joiners that own nothing and on repeated calls.
+func TestCloseJoinerFallsBackSequential(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(23)).Generate(400)
+	opt := Options{Params: filter.Params{Func: similarity.Jaccard, Threshold: 0.6}}
+	ref := New(Bundled, opt)
+	want := stepStream(ref, recs)
+
+	po := opt
+	po.Parallelism = 4
+	j := New(Bundled, po)
+	got := stepStream(j, recs[:200])
+	CloseJoiner(j)
+	got = append(got, stepStream(j, recs[200:])...)
+	CloseJoiner(j) // idempotent
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("close mid-stream changed results (%d vs %d entries)", len(got), len(want))
+	}
+
+	for _, a := range []Algorithm{Naive, Prefix} {
+		CloseJoiner(New(a, opt)) // no-op, must not panic
+	}
+}
+
+// TestBiJoinerCloseReleasesBothSides: BiJoiner.Close must close both
+// underlying joiners' pools and stay usable afterwards.
+func TestBiJoinerCloseReleasesBothSides(t *testing.T) {
+	opt := Options{
+		Params:      filter.Params{Func: similarity.Jaccard, Threshold: 0.6},
+		Parallelism: 3,
+	}
+	bi := NewBi(Bundled, opt)
+	recs := workload.NewGenerator(workload.UniformSmall(29)).Generate(100)
+	n := 0
+	for i, r := range recs {
+		emit := func(Match) { n++ }
+		if i%2 == 0 {
+			bi.StepLeft(r, emit)
+		} else {
+			bi.StepRight(r, emit)
+		}
+	}
+	if err := bi.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bi.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("degenerate: no cross-side matches")
+	}
+}
+
+// TestParallelismIgnoredByOtherAlgorithms: Naive and Prefix accept the
+// option without growing goroutines or changing results. Compared as sets:
+// the Prefix joiner's per-probe emit order follows its inverted index's
+// map iteration, which is not stable across runs even sequentially.
+func TestParallelismIgnoredByOtherAlgorithms(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(31)).Generate(200)
+	asSet := func(xs [][4]float64) map[[4]float64]int {
+		m := make(map[[4]float64]int)
+		for _, x := range xs {
+			m[x]++
+		}
+		return m
+	}
+	for _, a := range []Algorithm{Naive, Prefix} {
+		base := Options{Params: filter.Params{Func: similarity.Jaccard, Threshold: 0.6}}
+		par := base
+		par.Parallelism = 8
+		want := stepStream(New(a, base), recs)
+		got := stepStream(New(a, par), recs)
+		if !reflect.DeepEqual(asSet(got), asSet(want)) {
+			t.Fatalf("%v: Parallelism changed results", a)
+		}
+	}
+}

@@ -36,6 +36,13 @@ type WorkerOpts struct {
 	// checkpoints. Zero checkpoints only when a session ends uncleanly
 	// (connection break, cancellation) — the cheapest useful setting.
 	CheckpointInterval time.Duration
+	// Parallelism sizes each session joiner's verifier pool: P-1 helper
+	// goroutines fan candidate-bundle verification out across cores
+	// (bundle algorithm only), with results merged in deterministic order
+	// so the result stream is byte-identical to a sequential worker's.
+	// 0 or 1 keeps sessions single-threaded. Concurrent sessions each get
+	// their own pool.
+	Parallelism int
 }
 
 func (o WorkerOpts) logf(format string, args ...interface{}) {
@@ -182,9 +189,10 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 		return errors.New("remote: fault-tolerant bi sessions unsupported")
 	}
 	opts := local.Options{
-		Params: sess.Params,
-		Window: sess.Window,
-		Bundle: sess.Bundle,
+		Params:      sess.Params,
+		Window:      sess.Window,
+		Bundle:      sess.Bundle,
+		Parallelism: o.Parallelism,
 	}
 	var (
 		joiner local.Joiner
@@ -195,6 +203,16 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 	} else {
 		joiner = local.New(sess.Algorithm, opts)
 	}
+	// Parallel joiners own helper goroutines; release them however the
+	// session ends. The deferred read sees the latest joiner even after
+	// the torn-checkpoint replacement below.
+	defer func() {
+		if bi != nil {
+			bi.Close()
+		} else if joiner != nil {
+			local.CloseJoiner(joiner)
+		}
+	}()
 
 	// FT handshake: restore or discard the checkpoint, then ack the cursor.
 	ckptPath := ""
@@ -215,6 +233,7 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 					// A torn or stale file must not poison the session:
 					// drop the partially-loaded joiner and start fresh.
 					o.logf("remote worker: checkpoint %s unreadable, starting fresh: %v", ckptPath, cerr)
+					local.CloseJoiner(joiner)
 					joiner = local.New(sess.Algorithm, opts)
 				} else {
 					next = cur.NextID

@@ -31,7 +31,10 @@ func PutRanks(b *[]tokens.Rank) { rankScratch.Put(b) }
 
 // IntersectInto appends a∩b (both ascending) to dst and returns it —
 // the allocation-free counterpart of building a fresh intersection slice.
-// dst may be a pooled scratch buffer; it must not alias a or b.
+// dst may be a pooled scratch buffer, or may alias a's backing array from
+// index 0 (dst = a[:0], the in-place idiom): the write cursor never passes
+// the read cursor, so a is consumed before it is overwritten. dst must not
+// otherwise overlap a, and must never alias b.
 func IntersectInto(dst, a, b []tokens.Rank) []tokens.Rank {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -50,7 +53,9 @@ func IntersectInto(dst, a, b []tokens.Rank) []tokens.Rank {
 }
 
 // SubtractInto appends a\b (both ascending) to dst and returns it. dst may
-// be a pooled scratch buffer; it must not alias a or b.
+// be a pooled scratch buffer, or may alias a's backing array from index 0
+// (dst = a[:0], same argument as IntersectInto). dst must not otherwise
+// overlap a, and must never alias b.
 func SubtractInto(dst, a, b []tokens.Rank) []tokens.Rank {
 	i, j := 0, 0
 	for i < len(a) {

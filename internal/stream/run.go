@@ -318,6 +318,7 @@ func (t *taskRun) loop() {
 			em.Emit(tu)
 		}
 	} else {
+		bb, batched := t.bolt.(BatchBolt)
 		for b := range t.in {
 			var pstart time.Time
 			if t.obs != nil {
@@ -327,10 +328,18 @@ func (t *taskRun) loop() {
 				}
 				pstart = time.Now()
 			}
-			for i, tu := range b.items {
-				b.items[i] = nil // drop the ref so pooled batches don't pin tuples
-				t.counters.Executed.Add(1)
-				t.bolt.Execute(tu, em)
+			if batched {
+				t.counters.Executed.Add(uint64(len(b.items)))
+				bb.ExecuteBatch(b.items, em)
+				for i := range b.items {
+					b.items[i] = nil // drop refs so pooled batches don't pin tuples
+				}
+			} else {
+				for i, tu := range b.items {
+					b.items[i] = nil // drop the ref so pooled batches don't pin tuples
+					t.counters.Executed.Add(1)
+					t.bolt.Execute(tu, em)
+				}
 			}
 			b.items = b.items[:0]
 			t.pool.Put(b)

@@ -58,6 +58,17 @@ type Flusher interface {
 	Flush(em Emitter)
 }
 
+// BatchBolt is an optional Bolt extension: the executor hands such a bolt
+// each transport batch whole instead of tuple by tuple, preserving tuple
+// order exactly. Bolts that amortize per-record setup across a batch —
+// the worker bolt keeps its verifier pool fed with back-to-back records —
+// implement it; Execute remains required and must behave identically for
+// a single tuple.
+type BatchBolt interface {
+	Bolt
+	ExecuteBatch(ts []Tuple, em Emitter)
+}
+
 // Emitter sends tuples downstream. Emit targets the default stream;
 // EmitTo targets a named stream, reaching only subscribers of that stream
 // (Storm's multi-stream declaration). Emitting to a stream nobody

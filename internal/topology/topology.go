@@ -92,6 +92,14 @@ type Config struct {
 	// channels skip. Zero (default) disables the simulation; see
 	// EXPERIMENTS.md E16 for calibration guidance.
 	WireNsPerByte int
+	// Parallelism sizes each worker's verifier pool: P-1 helper goroutines
+	// per worker task fan candidate-bundle verification out across cores,
+	// with results merged back in deterministic order so any P produces
+	// the byte-identical result stream of a sequential run (Bundled
+	// algorithm only; see bundle.ProbePar). 0 or 1 keeps workers strictly
+	// single-threaded. Note the total goroutine budget is
+	// Workers × Parallelism.
+	Parallelism int
 	// Dispatchers parallelizes the routing stage (default 1). With more
 	// than one dispatcher, records can reach a worker slightly out of
 	// order; each worker then runs a watermark reorder buffer whose slack
@@ -290,6 +298,17 @@ func (w *workerBolt) Execute(t stream.Tuple, em stream.Emitter) {
 	w.process(rt, em)
 }
 
+// ExecuteBatch implements stream.BatchBolt: a whole transport batch of
+// records streams through the worker in one call, in order. This is the
+// engine→pool handoff: the verifier pool sees back-to-back records
+// without a per-tuple trip through the executor loop, so its helpers
+// stay warm across a batch.
+func (w *workerBolt) ExecuteBatch(ts []stream.Tuple, em stream.Emitter) {
+	for _, t := range ts {
+		w.Execute(t, em)
+	}
+}
+
 // Flush drains the reorder buffer at stream end.
 func (w *workerBolt) Flush(em stream.Emitter) {
 	if w.reorder != nil {
@@ -382,6 +401,47 @@ func (w *workerBolt) registerJoinerMetrics(reg *obs.Registry, task int) {
 		})
 }
 
+// registerPoolMetrics publishes the worker's verifier-pool counters to
+// reg: pool size, fanned vs serial probe rounds, idle helper wakeups, and
+// per-context verified-candidate counts (the per-core work distribution).
+// Only present when the joiner runs a parallel verifier pool.
+func (w *workerBolt) registerPoolMetrics(reg *obs.Registry, task int) {
+	type pooled interface {
+		VerifyPool() *bundle.Pool
+	}
+	pj, ok := w.joiner.(pooled)
+	if !ok {
+		return
+	}
+	pool := pj.VerifyPool()
+	if pool == nil {
+		return
+	}
+	label := fmt.Sprintf("worker/%d", task)
+	reg.GaugeVec("verify_pool_size",
+		"Verifier pool parallelism of a worker task (helpers + caller).", "task").
+		SetFunc(label, func() float64 { return float64(pool.Size()) })
+	reg.CounterVec("verify_pool_parallel_rounds_total",
+		"Probes whose candidate verification was fanned across the pool.", "task").
+		SetFunc(label, func() float64 { return float64(pool.Snapshot().RoundsParallel) })
+	reg.CounterVec("verify_pool_serial_rounds_total",
+		"Probes kept on the calling goroutine (below the fanout cutoff).", "task").
+		SetFunc(label, func() float64 { return float64(pool.Snapshot().RoundsSerial) })
+	reg.CounterVec("verify_pool_fanned_candidates_total",
+		"Candidate bundles verified in fanned rounds.", "task").
+		SetFunc(label, func() float64 { return float64(pool.Snapshot().Fanned) })
+	reg.CounterVec("verify_pool_idle_stints_total",
+		"Helper wakeups that found the candidate cursor already drained.", "task").
+		SetFunc(label, func() float64 { return float64(pool.Snapshot().IdleStints) })
+	verified := reg.CounterVec("verify_pool_ctx_verified_total",
+		"Candidate bundles verified by one verifier context of a worker's pool.", "ctx")
+	for i := 0; i < pool.Size(); i++ {
+		i := i
+		verified.SetFunc(fmt.Sprintf("%s/ctx/%d", label, i),
+			func() float64 { return float64(pool.CtxVerified(i)) })
+	}
+}
+
 // sinkBolt counts (and optionally keeps) result pairs.
 type sinkBolt struct {
 	collect bool
@@ -471,10 +531,20 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 
 	k := cfg.Workers
 	jopts := local.Options{
-		Params: cfg.Params,
-		Window: cfg.Window,
-		Bundle: cfg.Bundle,
+		Params:      cfg.Params,
+		Window:      cfg.Window,
+		Bundle:      cfg.Bundle,
+		Parallelism: cfg.Parallelism,
 	}
+	// Parallel joiners own helper goroutines; every joiner the run creates
+	// is released on the way out, error paths included. Bolt factories run
+	// serially during materialization, so the append needs no lock.
+	var owned []interface{ Close() error }
+	defer func() {
+		for _, c := range owned {
+			c.Close()
+		}
+	}()
 	// Restore happens before topology construction so a corrupt checkpoint
 	// fails the run cleanly instead of inside a bolt factory.
 	var restored []local.Joiner
@@ -485,6 +555,9 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 		restored = make([]local.Joiner, k)
 		for i, b := range cfg.Restore {
 			j := local.New(cfg.Algorithm, jopts)
+			if c, ok := j.(interface{ Close() error }); ok {
+				owned = append(owned, c)
+			}
 			if len(b) > 0 {
 				if _, _, err := checkpoint.Read(bytes.NewReader(b), j); err != nil {
 					return nil, fmt.Errorf("topology: restoring worker %d: %w", i, err)
@@ -515,10 +588,14 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 		switch {
 		case bi:
 			w.bi = local.NewBi(cfg.Algorithm, jopts)
+			owned = append(owned, w.bi)
 		case restored != nil:
 			w.joiner = restored[task]
 		default:
 			w.joiner = local.New(cfg.Algorithm, jopts)
+			if c, ok := w.joiner.(interface{ Close() error }); ok {
+				owned = append(owned, c)
+			}
 		}
 		if slack > 0 {
 			w.reorder = reorder.New(slack, func(rt RecTuple) uint64 { return uint64(rt.Rec.ID) })
@@ -529,6 +606,7 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 				"Per-record latency observed at a worker: source enqueue to probe completion.", "task").
 				SetFunc(fmt.Sprintf("worker/%d", task), w.slat.Snapshot)
 			w.registerJoinerMetrics(cfg.Registry, task)
+			w.registerPoolMetrics(cfg.Registry, task)
 		}
 		return w
 	}, k).SubscribeTo("dispatcher", routeGrouping)
