@@ -73,8 +73,15 @@ func main() {
 		jsonOut = flag.String("json", "", "also write machine-readable results to this file")
 		httpAd  = flag.String("http", "", "serve /metrics, /debug/traces, and /debug/pprof on this address during the run")
 		traceN  = flag.Int("trace", 0, "sample one tuple lineage every N tuples (0 = tracing off)")
+		minP    = flag.Int("min-procs", 0, "refuse to run when GOMAXPROCS is below this (CI guard: parallel sweeps on a single core measure nothing)")
 	)
 	flag.Parse()
+
+	if *minP > 0 && runtime.GOMAXPROCS(0) < *minP {
+		fmt.Fprintf(os.Stderr, "ssjoinbench: GOMAXPROCS=%d below -min-procs %d; a parallel sweep needs real cores\n",
+			runtime.GOMAXPROCS(0), *minP)
+		os.Exit(1)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

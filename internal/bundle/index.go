@@ -279,6 +279,9 @@ type Insertion struct {
 // cfg, postings, bundles): any index mutation belongs in collectCandidates
 // or the insert/evict path, which run strictly before and after the fanned
 // verify phase.
+//
+// hotpath: zero-alloc — runs once per candidate bundle per probe; matches
+// are emitted as value structs through the emit callback.
 func (bx *Index) probeBundle(r *record.Record, b *Bundle, st *Stats, emit func(Match)) (Insertion, bool) {
 	la := r.Len()
 	// Bundle-level length range check.

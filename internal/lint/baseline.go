@@ -1,0 +1,94 @@
+// Baseline support: diff-aware gating for CI. A baseline file records the
+// findings a repo has accepted (ideally none); a gated run fails only on
+// findings NOT in the baseline, so a new invariant violation breaks the
+// build while a pre-existing, tracked one does not block unrelated work.
+// Matching ignores line and column — refactors move code — and compares
+// (analyzer, file, message) as a multiset, so two identical findings in
+// one file need two baseline entries.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry is one accepted finding in the baseline file.
+type BaselineEntry struct {
+	// Analyzer names the check that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// File is the repo-relative path of the finding.
+	File string `json:"file"`
+	// Message is the diagnostic text.
+	Message string `json:"message"`
+}
+
+// baselineKey folds an entry (or a diagnostic) to its matching identity.
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, so bootstrapping needs no special case.
+func ReadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// WriteBaseline writes the diagnostics as a sorted baseline file, one
+// entry per finding occurrence.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NewFindings returns the diagnostics not covered by the baseline,
+// multiset-style: a baseline entry absorbs exactly one matching finding.
+func NewFindings(diags []Diagnostic, baseline []BaselineEntry) []Diagnostic {
+	budget := make(map[string]int, len(baseline))
+	for _, e := range baseline {
+		budget[baselineKey(e.Analyzer, e.File, e.Message)]++
+	}
+	var fresh []Diagnostic
+	for _, d := range diags {
+		k := baselineKey(d.Analyzer, d.Pos.Filename, d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}

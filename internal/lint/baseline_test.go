@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testDiag builds a diagnostic for baseline and SARIF tests.
+func testDiag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 2},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestBaselineRoundtrip checks Write/Read and the diff semantics: line
+// moves don't count as new, new messages and extra occurrences do.
+func TestBaselineRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	orig := []Diagnostic{
+		testDiag("allocheck", "a.go", 10, "hot path f allocates: make"),
+		testDiag("lockorder", "b.go", 20, "potential deadlock"),
+	}
+	if err := WriteBaseline(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("baseline has %d entries, want 2", len(entries))
+	}
+
+	// Same findings on different lines: nothing new.
+	moved := []Diagnostic{
+		testDiag("allocheck", "a.go", 99, "hot path f allocates: make"),
+		testDiag("lockorder", "b.go", 1, "potential deadlock"),
+	}
+	if fresh := NewFindings(moved, entries); len(fresh) != 0 {
+		t.Errorf("line moves flagged as new: %v", fresh)
+	}
+
+	// A brand-new message fails; the baselined one is still absorbed.
+	withNew := append(moved, testDiag("wirestate", "c.go", 5, "no encode arm"))
+	fresh := NewFindings(withNew, entries)
+	if len(fresh) != 1 || fresh[0].Analyzer != "wirestate" {
+		t.Errorf("new finding not isolated: %v", fresh)
+	}
+
+	// A second occurrence of a baselined (analyzer, file, message) needs a
+	// second baseline entry: matching is a multiset, not a set.
+	dup := append(moved, testDiag("allocheck", "a.go", 120, "hot path f allocates: make"))
+	if fresh := NewFindings(dup, entries); len(fresh) != 1 {
+		t.Errorf("duplicate occurrence not flagged: %v", fresh)
+	}
+}
+
+// TestReadBaselineMissing treats a missing file as an empty baseline.
+func TestReadBaselineMissing(t *testing.T) {
+	entries, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || entries != nil {
+		t.Fatalf("missing baseline: entries=%v err=%v", entries, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Error("corrupt baseline accepted")
+	}
+}
+
+// TestWriteSARIF validates the emitted document's shape: version, rule
+// table, one result per diagnostic with a physical location, and valid
+// JSON throughout.
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		testDiag("allocheck", "internal/stream/run.go", 10, "hot path Emit allocates: make"),
+		testDiag("lint", "x.go", 3, "malformed //lint:ignore directive"),
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, All()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "repolint" {
+		t.Errorf("driver = %q", run.Tool.Driver.Name)
+	}
+	// 11 analyzers + the "lint" pseudo-rule referenced by a result.
+	if len(run.Tool.Driver.Rules) != len(All())+1 {
+		t.Errorf("rule table has %d entries, want %d", len(run.Tool.Driver.Rules), len(All())+1)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "allocheck" ||
+		r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "internal/stream/run.go" ||
+		r.Locations[0].PhysicalLocation.Region.StartLine != 10 {
+		t.Errorf("first result malformed: %+v", r)
+	}
+	if !strings.Contains(buf.String(), "sarif-2.1.0.json") {
+		t.Error("schema reference missing")
+	}
+}

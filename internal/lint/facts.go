@@ -1,0 +1,277 @@
+// Facts: the interprocedural layer of the lint framework. An analyzer
+// running on one package can export typed facts about that package's
+// objects (functions, constants) or about the package as a whole; passes
+// over dependent packages — analyzed later, in dependency order — import
+// those facts to reason across package boundaries without re-reading the
+// dependency's source. The mechanism mirrors golang.org/x/tools/go/analysis
+// facts, built on the standard library alone: facts are plain structs,
+// serialized as JSON so the vet-tool mode can persist them alongside the
+// export data cmd/go already caches (the .vetx files of the vet protocol).
+//
+// Whole-program checks that cannot be phrased package-at-a-time (cycle
+// detection over the merged lock graph, protocol-coverage accounting) run
+// in an Analyzer's Finish hook, after every package's Run completed, with
+// access to the full accumulated fact store through the Session.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is the marker interface every fact type implements. A fact must be
+// a pointer to a JSON-serializable struct and must be registered with
+// RegisterFact before any store decodes it.
+type Fact interface {
+	// AFact marks the type as a lint fact; it is never called.
+	AFact()
+}
+
+// factProtos maps registered fact type names to constructors, so Decode
+// can materialize facts read back from serialized form.
+var factProtos = map[string]func() Fact{}
+
+// RegisterFact makes a fact type known to the serializer under its struct
+// type name. Call it from an init function next to the fact declaration.
+func RegisterFact(proto func() Fact) {
+	factProtos[factName(proto())] = proto
+}
+
+// factName returns the bare struct type name of a fact value.
+func factName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+// factKey addresses one fact: the declaring package's import path, the
+// object's path within it ("" for a package-level fact), and the fact
+// type's registered name.
+type factKey struct {
+	pkg string
+	obj string
+	typ string
+}
+
+// FactStore accumulates the facts of one analysis session. It is shared
+// by every pass of a RunAll invocation; the standalone runner threads one
+// store through all packages in dependency order, the vet-tool mode
+// persists and reloads it per package.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+// objectPath returns the stable intra-package path of an object: the bare
+// name for package-level declarations, "Recv.Method" for methods. Objects
+// facts cannot address (locals, imports) yield "".
+func objectPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			name := recvTypeName(recv.Type())
+			if name == "" {
+				return ""
+			}
+			return name + "." + fn.Name()
+		}
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return obj.Name()
+}
+
+// recvTypeName resolves a receiver type to its named type's bare name.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// set stores f under the key, replacing any previous fact of the same type.
+func (s *FactStore) set(pkg, obj string, f Fact) {
+	s.m[factKey{pkg: pkg, obj: obj, typ: factName(f)}] = f
+}
+
+// get copies the stored fact for the key into target (which selects the
+// fact type) and reports whether one was found.
+func (s *FactStore) get(pkg, obj string, target Fact) bool {
+	stored, ok := s.m[factKey{pkg: pkg, obj: obj, typ: factName(target)}]
+	if !ok {
+		return false
+	}
+	// Copy through JSON so callers can mutate their view freely.
+	data, err := json.Marshal(stored)
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, target) == nil
+}
+
+// encodedFact is the serialized form of one store entry.
+type encodedFact struct {
+	Pkg  string          `json:"pkg"`
+	Obj  string          `json:"obj,omitempty"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Encode serializes the store deterministically (sorted by key) so fact
+// files are byte-stable across runs.
+func (s *FactStore) Encode() ([]byte, error) {
+	out := make([]encodedFact, 0, len(s.m))
+	for k, f := range s.m {
+		data, err := json.Marshal(f)
+		if err != nil {
+			return nil, fmt.Errorf("lint: encoding fact %s for %s.%s: %w", k.typ, k.pkg, k.obj, err)
+		}
+		out = append(out, encodedFact{Pkg: k.pkg, Obj: k.obj, Type: k.typ, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(out)
+}
+
+// Decode merges serialized facts into the store. Facts of unregistered
+// types are an error: a version skew between producer and consumer should
+// fail loudly, not drop invariants.
+func (s *FactStore) Decode(data []byte) error {
+	var in []encodedFact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("lint: decoding fact stream: %w", err)
+	}
+	for _, e := range in {
+		proto, ok := factProtos[e.Type]
+		if !ok {
+			return fmt.Errorf("lint: unknown fact type %q (missing RegisterFact?)", e.Type)
+		}
+		f := proto()
+		if err := json.Unmarshal(e.Data, f); err != nil {
+			return fmt.Errorf("lint: decoding fact %s for %s.%s: %w", e.Type, e.Pkg, e.Obj, err)
+		}
+		s.set(e.Pkg, e.Obj, f)
+	}
+	return nil
+}
+
+// Len reports the number of stored facts.
+func (s *FactStore) Len() int { return len(s.m) }
+
+// ExportObjectFact attaches f to obj, making it visible to later passes
+// over packages that import this one. obj must be addressable by a stable
+// path (package-level declaration or method); other objects are ignored.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path := objectPath(obj)
+	if path == "" {
+		return
+	}
+	p.facts.set(obj.Pkg().Path(), path, f)
+}
+
+// ImportObjectFact copies the fact of f's type attached to obj into f and
+// reports whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := objectPath(obj)
+	if path == "" {
+		return false
+	}
+	return p.facts.get(obj.Pkg().Path(), path, f)
+}
+
+// ExportPackageFact attaches f to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.set(p.Pkg.Path(), "", f)
+}
+
+// ImportPackageFact copies the package-level fact of f's type for the
+// package with the given import path into f.
+func (p *Pass) ImportPackageFact(path string, f Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.get(path, "", f)
+}
+
+// StoredFact is one fact together with its address, as returned by the
+// Session accessors Finish hooks use.
+type StoredFact struct {
+	// Pkg is the import path of the package the fact was exported from.
+	Pkg string
+	// Obj is the object path within Pkg; empty for package-level facts.
+	Obj string
+	// Fact is the stored fact value. Treat it as read-only.
+	Fact Fact
+}
+
+// allFacts returns every stored fact of proto's type, sorted by package
+// path then object path, so Finish hooks iterate deterministically.
+func (s *FactStore) allFacts(proto Fact) []StoredFact {
+	want := factName(proto)
+	var out []StoredFact
+	for k, f := range s.m {
+		if k.typ == want {
+			out = append(out, StoredFact{Pkg: k.pkg, Obj: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Obj < out[j].Obj
+	})
+	return out
+}
+
+// FactPos is a serializable source position embedded in facts, so Finish
+// hooks can report diagnostics at positions recorded in other packages.
+type FactPos struct {
+	// File is the source file path as the loader saw it.
+	File string `json:"file"`
+	// Line and Col locate the fact's subject within File.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// factPos converts a resolved token position.
+func factPos(pos token.Position) FactPos {
+	return FactPos{File: pos.Filename, Line: pos.Line, Col: pos.Column}
+}
+
+// Position converts back to the token form diagnostics use.
+func (fp FactPos) Position() token.Position {
+	return token.Position{Filename: fp.File, Line: fp.Line, Column: fp.Col}
+}

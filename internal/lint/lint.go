@@ -35,6 +35,13 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package and reports findings through pass.Report.
 	Run func(pass *Pass) error
+	// Finish, when non-nil, runs once after every package's Run completed,
+	// with access to the accumulated fact store through the Session. It is
+	// where whole-program checks live: cycle detection over the merged
+	// lock graph, protocol-coverage accounting. The vet-tool mode, which
+	// analyzes one package at a time, never calls Finish — the standalone
+	// runner (make lint) is the authoritative whole-repo gate.
+	Finish func(s *Session) error
 }
 
 // Pass carries one package's worth of material to an Analyzer.
@@ -50,6 +57,7 @@ type Pass struct {
 	// Info is the full type information for Files.
 	Info *types.Info
 
+	facts   *FactStore
 	diags   *[]Diagnostic
 	ignores ignoreIndex
 }
@@ -93,16 +101,32 @@ type ignoreIndex map[string]map[int]map[string]bool
 
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+\S`)
 
-// buildIgnoreIndex scans all comments for //lint:ignore directives. A
-// directive covers its own line and the next one, so it works both as a
-// trailing comment and as a line of its own above the finding.
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+var ignorePrefixRe = regexp.MustCompile(`^//lint:ignore\b`)
+
+// buildIgnoreIndex scans all comments for //lint:ignore directives,
+// recording them in idx. A directive covers its own line and the next
+// one, so it works both as a trailing comment and as a line of its own
+// above the finding. A directive that is missing its analyzer list or its
+// mandatory reason is itself a finding — suppressions must document
+// themselves — reported under the pseudo-analyzer name "lint" (which no
+// ignore directive can silence).
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) ignoreIndex {
 	idx := make(ignoreIndex)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
+					if ignorePrefixRe.MatchString(c.Text) && diags != nil {
+						pos := fset.Position(c.Pos())
+						if !strings.HasSuffix(pos.Filename, "_test.go") {
+							*diags = append(*diags, Diagnostic{
+								Pos:      pos,
+								Analyzer: "lint",
+								Message:  "malformed //lint:ignore directive: need an analyzer list and a reason (//lint:ignore <analyzer>[,<analyzer>...] reason)",
+							})
+						}
+					}
 					continue
 				}
 				pos := fset.Position(c.Pos())
@@ -136,11 +160,78 @@ func (idx ignoreIndex) covers(pos token.Position, analyzer string) bool {
 	return set[analyzer] || set["all"]
 }
 
-// Run executes the analyzers over one loaded package and returns the
-// surviving diagnostics sorted by position.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+// Session is the shared state of one whole-program analysis: the fact
+// store every pass reads and writes, the merged suppression index, and
+// the accumulated diagnostics. Finish hooks receive it after the last
+// package's Run.
+type Session struct {
+	facts   *FactStore
+	ignores ignoreIndex
+	diags   []Diagnostic
+}
+
+// NewSession returns an empty session with a fresh fact store.
+func NewSession() *Session {
+	return &Session{facts: NewFactStore(), ignores: make(ignoreIndex)}
+}
+
+// Facts exposes the session's fact store (vet-tool mode serializes it).
+func (s *Session) Facts() *FactStore { return s.facts }
+
+// AllPackageFacts returns every package-level fact of proto's type,
+// sorted by package path.
+func (s *Session) AllPackageFacts(proto Fact) []StoredFact {
+	var out []StoredFact
+	for _, sf := range s.facts.allFacts(proto) {
+		if sf.Obj == "" {
+			out = append(out, sf)
+		}
+	}
+	return out
+}
+
+// AllObjectFacts returns every object-level fact of proto's type, sorted
+// by package path then object path.
+func (s *Session) AllObjectFacts(proto Fact) []StoredFact {
+	var out []StoredFact
+	for _, sf := range s.facts.allFacts(proto) {
+		if sf.Obj != "" {
+			out = append(out, sf)
+		}
+	}
+	return out
+}
+
+// Reportf records a finding from a Finish hook at an explicit position,
+// honoring the same test-file exemption and suppression index as
+// Pass.Reportf. The analyzer is named by string so Finish hooks avoid an
+// initialization cycle with their own Analyzer variable.
+func (s *Session) Reportf(analyzer string, pos token.Position, format string, args ...interface{}) {
+	if strings.HasSuffix(pos.Filename, "_test.go") {
+		return
+	}
+	if s.ignores.covers(pos, analyzer) {
+		return
+	}
+	s.diags = append(s.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// mergeIgnores folds one package's suppression index into the session's.
+// Keys are file paths, so packages never collide.
+func (s *Session) mergeIgnores(idx ignoreIndex) {
+	for file, lines := range idx {
+		s.ignores[file] = lines
+	}
+}
+
+// runPackage executes the analyzers' Run phase over one package inside
+// the session.
+func (s *Session) runPackage(pkg *Package, analyzers []*Analyzer) error {
+	s.mergeIgnores(buildIgnoreIndex(pkg.Fset, pkg.Files, &s.diags))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -148,13 +239,33 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
-			diags:    &diags,
-			ignores:  ignores,
+			facts:    s.facts,
+			diags:    &s.diags,
+			ignores:  s.ignores,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			return fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
+	return nil
+}
+
+// finish runs every Finish hook and returns the sorted diagnostics.
+func (s *Session) finish(analyzers []*Analyzer) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		if err := a.Finish(s); err != nil {
+			return nil, fmt.Errorf("lint: %s finish: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(s.diags)
+	return s.diags, nil
+}
+
+// sortDiagnostics orders findings by position for stable output.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -165,7 +276,95 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Column < b.Column
 	})
-	return diags, nil
+}
+
+// dependencyOrder sorts packages so every package follows all of its
+// (transitive) dependencies that are themselves in the set — the order
+// fact producers must run before fact consumers.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
+	out := make([]*Package, 0, len(pkgs))
+	seen := make(map[string]bool, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		imports := p.Types.Imports()
+		paths := make([]string, 0, len(imports))
+		for _, imp := range imports {
+			paths = append(paths, imp.Path())
+		}
+		sort.Strings(paths)
+		for _, ip := range paths {
+			if dep, ok := byPath[ip]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range sorted {
+		visit(p)
+	}
+	return out
+}
+
+// RunAll executes the analyzers over all packages in dependency order with
+// a shared fact store, runs the Finish hooks, and returns the surviving
+// diagnostics sorted by position. This is the whole-program entry point
+// the standalone runner and the repo-wide test gate use.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	s := NewSession()
+	for _, pkg := range dependencyOrder(pkgs) {
+		if err := s.runPackage(pkg, analyzers); err != nil {
+			return nil, err
+		}
+	}
+	return s.finish(analyzers)
+}
+
+// Run executes the analyzers (Run and Finish phases) over one loaded
+// package and returns the surviving diagnostics sorted by position. The
+// fixture harness builds on it; whole-repo callers use RunAll so facts
+// flow between packages.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAll([]*Package{pkg}, analyzers)
+}
+
+// RunModular executes only the analyzers' Run phase over one package, with
+// facts imported from the serialized stores of its dependencies — the
+// vet-tool mode, where cmd/go drives one package at a time and persists
+// facts in the build cache. Finish hooks are skipped: whole-program checks
+// need the full package set. Returns the diagnostics and this package's
+// serialized facts (dependencies' facts included, so transitive consumers
+// need only their direct dependencies' files).
+func RunModular(pkg *Package, analyzers []*Analyzer, depFacts [][]byte) ([]Diagnostic, []byte, error) {
+	s := NewSession()
+	for _, data := range depFacts {
+		if len(data) == 0 {
+			continue
+		}
+		if err := s.facts.Decode(data); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := s.runPackage(pkg, analyzers); err != nil {
+		return nil, nil, err
+	}
+	sortDiagnostics(s.diags)
+	encoded, err := s.facts.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.diags, encoded, nil
 }
 
 // All returns the full analyzer suite in reporting order.
@@ -179,6 +378,9 @@ func All() []*Analyzer {
 		ObsCheck,
 		RetryCheck,
 		ParCheck,
+		LockOrder,
+		AllocCheck,
+		WireState,
 	}
 }
 

@@ -23,6 +23,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{ObsCheck, "obscheck"},
 		{RetryCheck, "retrycheck"},
 		{ParCheck, "parcheck"},
+		{LockOrder, "lockorder"},
+		{AllocCheck, "allocheck"},
+		{WireState, "wirestate"},
 	}
 	for _, c := range cases {
 		c := c
@@ -43,7 +46,7 @@ func TestFixturesAreKnownBad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dirs) < 8 {
+	if len(dirs) < 11 {
 		t.Fatalf("expected a fixture dir per analyzer, found %d", len(dirs))
 	}
 	for _, d := range dirs {
@@ -67,7 +70,7 @@ func TestFixturesAreKnownBad(t *testing.T) {
 // TestByName checks suite lookup and the unknown-analyzer error.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 8 {
+	if err != nil || len(all) != 11 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("lockcheck, detcheck")
@@ -81,7 +84,9 @@ func TestByName(t *testing.T) {
 
 // TestSuiteCleanOnRepo runs the full suite over the whole module — the
 // same gate `make lint` applies — and requires zero findings, so the tree
-// cannot drift from its own invariants between lint runs.
+// cannot drift from its own invariants between lint runs. The whole-
+// program RunAll entry point matters here: the interprocedural analyzers
+// need every package's facts before their Finish hooks judge the repo.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -93,13 +98,11 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		diags, err := Run(pkg, All())
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
+	diags, err := RunAll(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

@@ -1,0 +1,120 @@
+// SARIF output: the Static Analysis Results Interchange Format (v2.1.0),
+// the shape code-scanning UIs ingest. The encoding here is the minimal
+// valid subset — one run, one driver, one rule per analyzer, one result
+// per diagnostic with a physical location — built from plain structs so
+// the module stays dependency-free.
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// sarifLog is the document root.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+// sarifRun is one analysis run.
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+// sarifTool wraps the driver description.
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+// sarifDriver describes the producing tool and its rules.
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+// sarifRule is one analyzer, keyed by its name.
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+// sarifResult is one finding.
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+// sarifMessage is SARIF's text wrapper.
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+// sarifLocation points a result at a file position.
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+// sarifPhysical is the artifact + region pair.
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+// sarifArtifact names the file.
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+// sarifRegion is the 1-based position within the file.
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log. The analyzers
+// list populates the rule table (every analyzer, findings or not, so the
+// consumer knows what was checked).
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		known[a.Name] = true
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !known[d.Analyzer] {
+			// The pseudo-analyzer "lint" (malformed directives) and any
+			// filtered-out analyzer still need a rule entry for validity.
+			rules = append(rules, sarifRule{ID: d.Analyzer, ShortDescription: sarifMessage{Text: "lint framework diagnostics"}})
+			known[d.Analyzer] = true
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.Pos.Filename},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "repolint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,70 @@
+// Package allocfix exercises allocheck: direct allocation sites in
+// functions marked `hotpath: zero-alloc`, transitive propagation through
+// same-package callees, unverifiable external calls, the allowed
+// self-append idiom, and suppression.
+package allocfix
+
+import "strconv"
+
+// grow appends into a new variable: a growth allocation.
+//
+// hotpath: zero-alloc
+func grow(xs []int) []int {
+	ys := append(xs, 1) // want "append outside the self-assign form"
+	return ys
+}
+
+// selfAppend uses the amortized idiom and stays clean.
+//
+// hotpath: zero-alloc
+func selfAppend(xs []int) []int {
+	xs = append(xs, 1)
+	return xs
+}
+
+// helper allocates; it is not hot itself, but hot callers inherit the
+// violation through the package-local summary.
+func helper(n int) []int {
+	return make([]int, n)
+}
+
+// viaCall is hot and calls helper.
+//
+// hotpath: zero-alloc
+func viaCall(n int) []int {
+	return helper(n) // want "call to allocfix.helper, which allocates \\(make\\)"
+}
+
+// external calls into a standard-library package outside the alloc-free
+// allowlist; unverifiable counts as a finding, not a pass.
+//
+// hotpath: zero-alloc
+func external(v int) string {
+	return strconv.Itoa(v) // want "not verified alloc-free"
+}
+
+// closes builds a closure on the hot path.
+//
+// hotpath: zero-alloc
+func closes(n int) func() int {
+	f := func() int { return n } // want "function literal \\(closure allocation\\)"
+	return f
+}
+
+// structValue passes a plain value literal: registers, no heap.
+//
+// hotpath: zero-alloc
+func structValue(emit func(pair)) {
+	emit(pair{a: 1, b: 2})
+}
+
+// pair is a value payload for structValue.
+type pair struct{ a, b int }
+
+// suppressed documents a deliberate warm-up allocation.
+//
+// hotpath: zero-alloc
+func suppressed() []int {
+	//lint:ignore allocheck fixture: one-time warm-up buffer, measured cold
+	return make([]int, 8)
+}

@@ -1,0 +1,98 @@
+// Package lockorderfix exercises lockorder: cross-function lock
+// acquisition edges, cycle detection with a witness path, instance-aware
+// same-class locking, self-deadlock, and suppression.
+package lockorderfix
+
+import "sync"
+
+// A is one lock class.
+type A struct{ mu sync.Mutex }
+
+// B is a second lock class, acquired in both orders relative to A.
+type B struct{ mu sync.Mutex }
+
+// lockAB acquires A then B: the first half of the cycle. The diagnostic
+// lands on the inner acquisition of the cycle's witness path.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "potential deadlock: lock ordering cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockBA acquires B then A: the second half of the cycle.
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// indirect contributes the same A->B edge through a callee summary; the
+// first-seen edge (lockAB's) keeps the witness position.
+func indirect(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b)
+	a.mu.Unlock()
+}
+
+// lockB acquires B on behalf of callers; its summary carries the class.
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// chain is hand-over-hand locking over two *instances* of one class:
+// same class, different receiver expressions, no self-edge, no report.
+func chain(a1, a2 *A) {
+	a1.mu.Lock()
+	a2.mu.Lock()
+	a2.mu.Unlock()
+	a1.mu.Unlock()
+}
+
+// E is a class locked twice through the same receiver: self-deadlock.
+type E struct{ mu sync.Mutex }
+
+// relock re-acquires the mutex it already holds.
+func (e *E) relock() {
+	e.mu.Lock()
+	e.mu.Lock() // want "potential deadlock: lock ordering cycle"
+	e.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// C and D form a second cycle whose witness line carries a suppression,
+// so no diagnostic survives for it.
+type C struct{ mu sync.Mutex }
+
+// D pairs with C.
+type D struct{ mu sync.Mutex }
+
+// lockCD is half of the suppressed cycle.
+func lockCD(c *C, d *D) {
+	c.mu.Lock()
+	//lint:ignore lockorder fixture: documented intentional inversion
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// lockDC is the other half of the suppressed cycle.
+func lockDC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// spawned shows that goroutine bodies start with an empty held set: the
+// literal acquires B while the spawner holds A, but no edge is recorded.
+func spawned(a *A, b *B) {
+	a.mu.Lock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}()
+	a.mu.Unlock()
+}

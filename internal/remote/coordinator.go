@@ -236,6 +236,7 @@ func runSession(ctx context.Context, conns []io.ReadWriter, sess Session, recs [
 					readErr <- fmt.Errorf("remote: worker %d read: %w", task, err)
 					return
 				}
+				// wire-dispatch: coordinator
 				switch typ {
 				case wire.TypeResult:
 					res, err := rd.ReadResult()
@@ -259,6 +260,8 @@ func runSession(ctx context.Context, conns []io.ReadWriter, sess Session, recs [
 						readErr <- fmt.Errorf("remote: worker %d snapshot: %w", task, err)
 						return
 					}
+					// The snapshot follows Stats outside the switch.
+					// wire-handled: coordinator TypeSnapshot
 					if typ != wire.TypeSnapshot {
 						readErr <- fmt.Errorf("remote: worker %d sent frame %d, want snapshot", task, typ)
 						return

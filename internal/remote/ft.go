@@ -534,6 +534,7 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 				return
 			}
 			lastIn.Store(int64(time.Since(f.start)))
+			// wire-dispatch: coordinator
 			switch typ {
 			case wire.TypeResumeAck:
 				v, rerr := rd.ReadResumeAck()

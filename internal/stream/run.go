@@ -57,6 +57,9 @@ type edgeOut struct {
 
 // send appends t to destination d's pending batch, shipping the batch when
 // it reaches batchSize.
+//
+// hotpath: zero-alloc — one call per (tuple, destination); batches come
+// from the pool and items grow by amortized self-append only.
 func (o *edgeOut) send(d int, t Tuple, pool *sync.Pool) {
 	b := o.pending[d]
 	if b == nil {
@@ -97,8 +100,15 @@ type emitter struct {
 	pool     *sync.Pool
 }
 
+// Emit routes t on the default stream.
+//
+// hotpath: zero-alloc — the per-tuple fast path of every task.
 func (e *emitter) Emit(t Tuple) { e.EmitTo(DefaultStream, t) }
 
+// EmitTo routes t on the named stream to every subscribed edge.
+//
+// hotpath: zero-alloc — selection reuses e.buf, batching reuses pooled
+// batches; BenchmarkEmitPath pins the dynamic side of this contract.
 func (e *emitter) EmitTo(stream string, t Tuple) {
 	e.counters.Emitted.Add(1)
 	// SizeBytes is computed lazily: only once a subscribed edge selects at

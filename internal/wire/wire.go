@@ -27,32 +27,38 @@ import (
 	"repro/internal/tokens"
 )
 
-// Frame types.
+// Frame types. Each constant declares its consumer with a handled-by
+// marker; the wirestate analyzer verifies that every declared role has a
+// matching arm in an annotated dispatch switch (or a wire-handled site).
 const (
-	TypeHello byte = iota + 1
-	TypeRecord
-	TypeResult
+	TypeHello byte = iota + 1 // handled-by: worker
+	TypeRecord                // handled-by: worker
+	TypeResult                // handled-by: coordinator
 	// TypeEOF ends the coordinator's record stream; payload-free, the
-	// worker reacts to the frame type alone.
+	// worker reacts to the frame type alone. handled-by: worker
 	TypeEOF
-	TypeStats
+	TypeStats // handled-by: coordinator
 	// TypeSnapshot carries an opaque checkpoint blob: coordinator→worker
 	// right after Hello to seed the window, or worker→coordinator after
 	// Stats when the coordinator ended the stream with TypeSnapshotReq.
+	// handled-by: coordinator,worker
 	TypeSnapshot
 	// TypeSnapshotReq replaces TypeEOF when the coordinator wants the
 	// worker's window state back; payload-free like TypeEOF.
+	// handled-by: worker
 	TypeSnapshotReq
 	// TypePing is a coordinator→worker liveness probe; payload-free and
 	// flushed immediately so it cannot sit in the write buffer.
+	// handled-by: worker
 	TypePing
 	// TypePong is the worker's payload-free answer to TypePing, likewise
-	// flushed immediately.
+	// flushed immediately. handled-by: coordinator
 	TypePong
 	// TypeResumeAck answers a resuming Hello (flag bit 2): the worker
 	// reports the stream cursor it restored from its checkpoint so the
 	// coordinator can replay only the tail. Payload is one uvarint — the
 	// next record ID the worker expects (0 = nothing restored, replay all).
+	// handled-by: coordinator
 	TypeResumeAck
 )
 
