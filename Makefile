@@ -49,6 +49,7 @@ fuzz:
 	go test -fuzz FuzzWordTokenizer -fuzztime 10s ./internal/tokens/
 	go test -fuzz FuzzQGramTokenizer -fuzztime 10s ./internal/tokens/
 	go test -fuzz FuzzJoinMatchesBruteForce -fuzztime 15s ./internal/offline/
+	go test -fuzz FuzzIntersectKernels -fuzztime 15s ./internal/similarity/
 
 # ~10s fuzz sanity pass for CI.
 fuzz-smoke:
@@ -57,6 +58,7 @@ fuzz-smoke:
 	go test -fuzz FuzzWordTokenizer -fuzztime 2s ./internal/tokens/
 	go test -fuzz FuzzQGramTokenizer -fuzztime 2s ./internal/tokens/
 	go test -fuzz FuzzJoinMatchesBruteForce -fuzztime 2s ./internal/offline/
+	go test -fuzz FuzzIntersectKernels -fuzztime 2s ./internal/similarity/
 
 clean:
 	rm -rf internal/*/testdata/fuzz

@@ -51,6 +51,7 @@ func main() {
 		part    = flag.String("part", "load-aware", "length partitioner: load-aware, even-length, even-frequency")
 		workers = flag.Int("workers", 4, "worker parallelism")
 		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "verifier goroutines per worker (bundle algorithm, in-process runs): candidate verification fans out across cores with deterministic output; 1 disables")
+		kernel  = flag.String("kernel", "auto", "verification intersection kernel: auto, linear, gallop, bitset (bundle algorithm; results are identical for every choice)")
 		win     = flag.Int64("window", 0, "count window (0 = unbounded)")
 		pairs   = flag.Bool("pairs", false, "print result pairs")
 		asJSON  = flag.Bool("json", false, "print the run summary as JSON on stdout")
@@ -112,6 +113,7 @@ func main() {
 	}
 	cfg.Threshold = *tau
 	cfg.WindowRecords = *win
+	cfg.Kernel = *kernel
 	if cfg.Function, err = parseFunc(*fn); err != nil {
 		fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/remote"
+	"repro/internal/similarity"
 )
 
 func main() {
@@ -41,8 +42,14 @@ func run() int {
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for fault-tolerant session checkpoints (empty disables persistence; FT sessions then resume from scratch)")
 		ckptIvl  = flag.Duration("checkpoint-interval", 0, "minimum spacing between periodic window checkpoints (0: checkpoint only on unclean session exit)")
 		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "verifier goroutines per session (bundle algorithm): candidate verification fans out across cores with deterministic output; 1 disables")
+		kernel   = flag.String("kernel", "auto", "verification intersection kernel: auto, linear, gallop, bitset (bundle algorithm; worker-local, results are identical for every choice)")
 	)
 	flag.Parse()
+	kern, err := similarity.ParseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssjoinworker:", err)
+		return 1
+	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "ssjoinworker:", err)
@@ -97,6 +104,7 @@ func run() int {
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptIvl,
 		Parallelism:        *par,
+		Kernel:             similarity.KernelConfig{Mode: kern},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssjoinworker:", err)

@@ -29,6 +29,15 @@ type Member struct {
 	Rec   *record.Record
 	Delta []tokens.Rank // Rec.Tokens \ Core, ascending
 	dead  bool
+
+	// Cached bitset forms for the kernelized verify path (see kernels.go).
+	// full packs Rec.Tokens, delta packs Delta; the OK flags distinguish
+	// "not packed under this kernel config" from "packed and current".
+	// Maintained only by the single-writer insert/evict phases.
+	full    similarity.Packed
+	fullOK  bool
+	deltaP  similarity.Packed
+	deltaOK bool
 }
 
 // Bundle groups records that joined with one another. Invariants:
@@ -50,6 +59,24 @@ type Bundle struct {
 	// peak tracks the max member count since the last shrink rebuild.
 	peak int
 	live int
+
+	// lastSeen is the probe sequence number of the last collectCandidates
+	// call that visited this bundle — the per-probe dedup stamp that
+	// replaced the old seen map (an epoch check beats a map insert per
+	// candidate posting).
+	lastSeen uint64
+
+	// Cached bitset forms of Core and Union plus their validity flags,
+	// rebuilt by the single-writer insert/evict phases whenever the
+	// underlying slice changes (see kernels.go).
+	coreP   similarity.Packed
+	coreOK  bool
+	unionP  similarity.Packed
+	unionOK bool
+	// unionOwned reports whether Union's backing array belongs to this
+	// bundle. A singleton aliases its record's immutable token slice, so
+	// in-place union growth must first copy into owned storage.
+	unionOwned bool
 }
 
 func (b *Bundle) hasPosted(tok tokens.Rank) bool {
@@ -203,22 +230,75 @@ func overlapStepsBounded(a, b []tokens.Rank, required int) (o, steps int, ok boo
 	return o, steps, o >= required
 }
 
+// unionInto merges a ∪ b (both ascending) onto dst, appending after dst's
+// existing elements, and returns the extended slice. When dst has spare
+// capacity the merge is allocation-free; dst may share its backing array
+// with a as long as a sits at or beyond the write region (the in-place
+// idiom unionAdd uses), because every element of a is read in the same
+// iteration that can first overwrite it.
+func unionInto(dst, a, b []tokens.Rank) []tokens.Rank {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		default:
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// unionAdd grows Union by t's tokens in place when the bundle owns the
+// backing array and it has room; otherwise it reallocates with headroom
+// (so per-insert union growth is amortized allocation-free). The in-place
+// path shifts the old union to the tail of the buffer and forward-merges
+// into the front: the write cursor can never pass the shifted read cursor
+// because the merge emits at most one element per element consumed.
+func (b *Bundle) unionAdd(t []tokens.Rank) {
+	need := len(b.Union) + len(t)
+	if !b.unionOwned || cap(b.Union) < need {
+		buf := make([]tokens.Rank, 0, need*2)
+		b.Union = unionInto(buf, b.Union, t)
+		b.unionOwned = true
+		return
+	}
+	u := b.Union
+	buf := u[:need]
+	shifted := buf[need-len(u):]
+	copy(shifted, u)
+	b.Union = unionInto(buf[:0], shifted, t)
+}
+
 // add appends r as a member: the core shrinks to core ∩ r, existing deltas
 // absorb the evicted core tokens, and the union grows by r's tokens.
 // newCore must equal core ∩ r.Tokens when the bundle is non-empty — the
 // caller already computed it for the grouping check, so add reuses it
 // instead of re-merging; it may alias caller scratch (add copies before
-// keeping it) and is ignored for the first member. add returns the tokens
-// of r's prefix that were not yet posted for this bundle so the caller can
-// extend the posting lists.
-func (b *Bundle) add(r *record.Record, prefixLen int, newCore []tokens.Rank) (newPostings []tokens.Rank) {
+// keeping it) and is ignored for the first member. Members and deltas come
+// out of al's slabs, and every token set whose slice changed gets its
+// cached bitset form rebuilt under kern. add returns the tokens of r's
+// prefix that were not yet posted for this bundle so the caller can extend
+// the posting lists.
+func (b *Bundle) add(al *alloc, kern similarity.KernelConfig, r *record.Record, prefixLen int, newCore []tokens.Rank) (newPostings []tokens.Rank) {
 	if b.live == 0 {
 		// Records are immutable, so a singleton bundle can alias the
-		// record's token slice; every later mutation path allocates fresh
-		// slices (intersect/subtract/union never write their inputs).
+		// record's token slice; every later mutation path copies before
+		// writing (unionAdd checks unionOwned, core shrink reallocates).
 		b.Core = r.Tokens
 		b.Union = r.Tokens
-		b.Members = append(b.Members, &Member{Rec: r, Delta: nil})
+		b.unionOwned = false
+		m := al.member()
+		m.Rec = r
+		b.Members = append(b.Members, m)
+		packIf(kern, &m.full, &m.fullOK, r.Tokens)
 	} else {
 		if len(newCore) != len(b.Core) {
 			released := similarity.GetRanks()
@@ -227,13 +307,29 @@ func (b *Bundle) add(r *record.Record, prefixLen int, newCore []tokens.Rank) (ne
 				if m.dead {
 					continue
 				}
-				m.Delta = union(m.Delta, *released)
+				buf := al.grab(len(m.Delta) + len(*released))
+				m.Delta = unionInto(buf, m.Delta, *released)
+				al.commit(len(m.Delta))
+				packIf(kern, &m.deltaP, &m.deltaOK, m.Delta)
 			}
 			b.Core = append(make([]tokens.Rank, 0, len(newCore)), newCore...)
 			similarity.PutRanks(released)
 		}
-		b.Union = union(b.Union, r.Tokens)
-		b.Members = append(b.Members, &Member{Rec: r, Delta: subtract(r.Tokens, b.Core)})
+		b.unionAdd(r.Tokens)
+		m := al.member()
+		m.Rec = r
+		buf := al.grab(r.Len())
+		m.Delta = similarity.SubtractInto(buf, r.Tokens, b.Core)
+		al.commit(len(m.Delta))
+		b.Members = append(b.Members, m)
+		packIf(kern, &m.full, &m.fullOK, r.Tokens)
+		packIf(kern, &m.deltaP, &m.deltaOK, m.Delta)
+		// Core and Union now serve the shared-verification identity (the
+		// singleton fast path never consults them), so (re)pack both: the
+		// union always grew, and the core cache may predate this member or
+		// the shrink above.
+		packIf(kern, &b.coreP, &b.coreOK, b.Core)
+		packIf(kern, &b.unionP, &b.unionOK, b.Union)
 	}
 	b.live++
 	if b.live > b.peak {
@@ -250,8 +346,9 @@ func (b *Bundle) add(r *record.Record, prefixLen int, newCore []tokens.Rank) (ne
 }
 
 // removeDead drops dead members and, when the bundle has shrunk to half its
-// peak, rebuilds Union (and tightens Core) from the survivors.
-func (b *Bundle) removeDead() {
+// peak, rebuilds Union from the survivors (refreshing its cached bitset
+// form under kern).
+func (b *Bundle) removeDead(kern similarity.KernelConfig) {
 	w := 0
 	for _, m := range b.Members {
 		if !m.dead {
@@ -269,7 +366,9 @@ func (b *Bundle) removeDead() {
 			u = union(u, m.Rec.Tokens)
 		}
 		b.Union = u
+		b.unionOwned = true
 		b.peak = w
+		packIf(kern, &b.unionP, &b.unionOK, b.Union)
 	}
 }
 

@@ -83,7 +83,8 @@ func addRec(b *Bundle, r *record.Record, prefixLen int) []tokens.Rank {
 	if b.Live() > 0 {
 		newCore = intersect(b.Core, r.Tokens)
 	}
-	return b.add(r, prefixLen, newCore)
+	var al alloc
+	return b.add(&al, similarity.KernelConfig{}.WithDefaults(), r, prefixLen, newCore)
 }
 
 func TestBundleAddMaintainsInvariants(t *testing.T) {
@@ -319,7 +320,7 @@ func TestRemoveDeadRebuildsUnion(t *testing.T) {
 		m.dead = true
 		b.live--
 	}
-	b.removeDead()
+	b.removeDead(similarity.KernelConfig{}.WithDefaults())
 	if len(b.Members) != 1 {
 		t.Fatalf("members after removeDead: %d", len(b.Members))
 	}

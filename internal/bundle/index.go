@@ -28,6 +28,11 @@ type Config struct {
 	// verified by a full merge of the probe against the member's complete
 	// token set. Used by the E8 ablation.
 	OneByOneVerify bool
+	// Kernel selects the verification intersection kernel and its cutoffs
+	// (see similarity.KernelConfig). Every kernel computes exact overlaps,
+	// so this setting never changes the emitted matches — it is therefore
+	// worker-local and deliberately kept off the wire protocol.
+	Kernel similarity.KernelConfig
 }
 
 func (c Config) withDefaults(tau float64) Config {
@@ -40,6 +45,7 @@ func (c Config) withDefaults(tau float64) Config {
 	if c.MinCoreFrac == 0 {
 		c.MinCoreFrac = 0.5
 	}
+	c.Kernel = c.Kernel.WithDefaults()
 	return c
 }
 
@@ -77,7 +83,17 @@ type Stats struct {
 	RebuildSweeps  uint64 // posting sweeps triggered
 	DeadPostSkips  uint64 // dead bundle postings compacted
 	GroupRejectLen uint64 // memberships rejected by MaxMembers/MinCoreFrac
+
+	KernelLinear    uint64 // verification merges run by the linear kernel
+	KernelGallop    uint64 // verification merges run by the galloping kernel
+	KernelBitset    uint64 // verification merges run by the bitset kernel
+	BundleQuickSkip uint64 // bundles skipped by the pre-merge size bound
+	MemberDeltaSkip uint64 // members skipped by the core+|delta| bound
 }
+
+// Pruned sums the candidates the kernel-tier upper bounds discarded
+// before any verification merge ran.
+func (s Stats) Pruned() uint64 { return s.BundleQuickSkip + s.MemberDeltaSkip }
 
 type fifoEntry struct {
 	b *Bundle
@@ -100,13 +116,31 @@ type Index struct {
 	live  *LiveStats // optional atomic mirror, see PublishLive
 
 	// probe scratch
-	seen  map[uint64]struct{}
 	cands []*Bundle
+	walk  []walkRef
+	// probeSeq is the monotonic probe counter stamped into Bundle.lastSeen
+	// for per-probe candidate dedup (replaces a per-probe map).
+	probeSeq uint64
+	// probeP is the probe record's packed form, built once per probe in
+	// collectCandidates (single-writer phase) and read-only during the —
+	// possibly fanned — verify phase.
+	probeP  similarity.Packed
+	probeOK bool
 	// trial is insert-path scratch for the candidate core intersection
 	// (single-writer like the rest of the index, so a plain reused slice
 	// beats pooling here; pooled buffers cover the shared helpers in
 	// Bundle.add).
 	trial []tokens.Rank
+	// al slab-allocates members, bundles and deltas on the insert path.
+	al alloc
+}
+
+// walkRef is one prefix token's posting list in the selectivity-ordered
+// walk: pos is the token's prefix position, n the list length at sort
+// time.
+type walkRef struct {
+	pos int32
+	n   int32
 }
 
 // New returns an empty bundle index.
@@ -116,7 +150,6 @@ func New(p filter.Params, w window.Policy, cfg Config) *Index {
 		win:    w,
 		cfg:    cfg.withDefaults(p.Threshold),
 		posts:  make(map[tokens.Rank][]*Bundle),
-		seen:   make(map[uint64]struct{}),
 	}
 }
 
@@ -143,6 +176,13 @@ type LiveStats struct {
 	Verified   atomic.Uint64
 	Results    atomic.Uint64
 	Members    atomic.Uint64
+
+	// Per-kernel verification merges and pre-verify pruned candidates
+	// (verify_kernel_* / verify_candidates_pruned_total in /metrics).
+	KernelLinear atomic.Uint64
+	KernelGallop atomic.Uint64
+	KernelBitset atomic.Uint64
+	Pruned       atomic.Uint64
 }
 
 // PublishLive makes the index mirror its counters into ls after every
@@ -161,6 +201,10 @@ func (bx *Index) publish() {
 	bx.live.Verified.Store(bx.stats.Verified)
 	bx.live.Results.Store(bx.stats.Results)
 	bx.live.Members.Store(uint64(len(bx.fifo) - bx.head))
+	bx.live.KernelLinear.Store(bx.stats.KernelLinear)
+	bx.live.KernelGallop.Store(bx.stats.KernelGallop)
+	bx.live.KernelBitset.Store(bx.stats.KernelBitset)
+	bx.live.Pruned.Store(bx.stats.Pruned())
 }
 
 // Process runs one full streaming step for r: evict expired members, probe
@@ -189,7 +233,7 @@ func (bx *Index) Evict(nowSeq record.ID, nowTime int64) {
 		}
 		fe.m.dead = true
 		fe.b.live--
-		fe.b.removeDead()
+		fe.b.removeDead(bx.cfg.Kernel)
 		bx.fifo[bx.head] = fifoEntry{}
 		bx.head++
 		bx.stats.Evicted++
@@ -217,23 +261,51 @@ func (bx *Index) Probe(r *record.Record, emit func(Match)) (best Insertion, ok b
 	return best, ok
 }
 
-// collectCandidates walks the posting lists of r's prefix tokens, compacts
-// dead postings in place, and returns the distinct candidate bundles in
-// first-discovery order (the order Probe has always verified them in).
-// This is the single-writer half of the probe path: every posting-list
-// mutation happens here, before verification starts, so the verify phase
-// that follows — serial in Probe, fanned out in ProbePar — reads an index
-// nobody is writing. The returned slice is scratch owned by the index and
-// valid until the next collectCandidates call.
+// collectCandidates walks the posting lists of r's prefix tokens in
+// ascending posting-list-length order (rarest token first), compacts dead
+// postings in place, and returns the distinct candidate bundles in that
+// discovery order. Rarest-first is the tree-style selectivity heuristic:
+// the bundles sharing a rare token are the likeliest (and, sharing more
+// with the probe, typically heaviest) candidates, so they front-load the
+// verify order — which also hands the pool's work-stealing loop its
+// biggest items first. The order is a deterministic function of index
+// state (list length, then prefix position), so parallel and serial runs
+// still see identical candidate sequences. Dedup is an epoch stamp on the
+// bundle (lastSeen vs probeSeq) instead of a per-probe map. This is the
+// single-writer half of the probe path: every posting-list mutation and
+// the probe's packed form happen here, before verification starts, so the
+// verify phase that follows — serial in Probe, fanned out in ProbePar —
+// reads an index nobody is writing. The returned slice is scratch owned
+// by the index and valid until the next collectCandidates call.
+//
+// hotpath: zero-alloc — runs once per probe; the one posts-map write is
+// the compaction store of an existing key (baselined).
 func (bx *Index) collectCandidates(r *record.Record) []*Bundle {
 	cands := bx.cands[:0]
+	bx.probeSeq++
+	packIf(bx.cfg.Kernel, &bx.probeP, &bx.probeOK, r.Tokens)
 	p := bx.params.PrefixLen(r.Len())
+	walk := bx.walk[:0]
 	for i := 0; i < p; i++ {
-		tok := r.Tokens[i]
-		list, have := bx.posts[tok]
+		list, have := bx.posts[r.Tokens[i]]
 		if !have {
 			continue
 		}
+		walk = append(walk, walkRef{pos: int32(i), n: int32(len(list))})
+	}
+	// Insertion sort by (length, prefix position): prefixes are short and
+	// mostly sorted run-to-run, so this beats sort.Slice and allocates
+	// nothing.
+	for i := 1; i < len(walk); i++ {
+		for j := i; j > 0 && (walk[j].n < walk[j-1].n ||
+			(walk[j].n == walk[j-1].n && walk[j].pos < walk[j-1].pos)); j-- {
+			walk[j], walk[j-1] = walk[j-1], walk[j]
+		}
+	}
+	bx.walk = walk
+	for _, wr := range walk {
+		tok := r.Tokens[wr.pos]
+		list := bx.posts[tok]
 		w := 0
 		for _, b := range list {
 			if b.live == 0 {
@@ -244,21 +316,18 @@ func (bx *Index) collectCandidates(r *record.Record) []*Bundle {
 			list[w] = b
 			w++
 			bx.stats.Scanned++
-			if _, dup := bx.seen[b.ID]; dup {
+			if b.lastSeen == bx.probeSeq {
 				continue
 			}
-			bx.seen[b.ID] = struct{}{}
+			b.lastSeen = bx.probeSeq
 			bx.stats.BundleCands++
 			cands = append(cands, b)
 		}
 		if w == 0 {
 			delete(bx.posts, tok)
-		} else {
+		} else if w != len(list) {
 			bx.posts[tok] = list[:w]
 		}
-	}
-	for id := range bx.seen {
-		delete(bx.seen, id)
 	}
 	bx.cands = cands
 	return cands
@@ -306,7 +375,7 @@ func (bx *Index) probeBundle(r *record.Record, b *Bundle, st *Stats, emit func(M
 		}
 		st.MemberChecks++
 		req := bx.params.RequiredOverlap(la, lb)
-		o, steps, ok := overlapStepsBounded(r.Tokens, m.Rec.Tokens, req)
+		o, steps, ok := bx.overlapKernelBounded(st, r.Tokens, &bx.probeP, bx.probeOK, m.Rec.Tokens, &m.full, m.fullOK, req)
 		st.SingletonFast++
 		st.VerifySteps += uint64(steps)
 		st.Verified++
@@ -319,10 +388,27 @@ func (bx *Index) probeBundle(r *record.Record, b *Bundle, st *Stats, emit func(M
 		return Insertion{Bundle: b, Sim: sim}, true
 	}
 
+	// Quick size bound before any merge: overlap(r, y) <= min(la, ly,
+	// |Union|) for every member y, and ly <= min(bmax, hi) over the
+	// members that survive the length check, while required(y) >= reqMin.
+	// When even the best case falls short, the whole bundle is pruned for
+	// the cost of three comparisons.
+	quickUB := la
+	if h := min(bmax, hi); h < quickUB {
+		quickUB = h
+	}
+	if lu := len(b.Union); lu < quickUB {
+		quickUB = lu
+	}
+	if quickUB < reqMin {
+		st.BundleQuickSkip++
+		return Insertion{}, false
+	}
+
 	// Bundle-level union upper bound: overlap(r, y) <= overlap(r, Union)
 	// for every member y. One early-terminating merge prunes the whole
 	// bundle; on success the overlap is exact and reused per member.
-	unionO, usteps, uok := overlapStepsBounded(r.Tokens, b.Union, reqMin)
+	unionO, usteps, uok := bx.overlapKernelBounded(st, r.Tokens, &bx.probeP, bx.probeOK, b.Union, &b.unionP, b.unionOK, reqMin)
 	st.UnionOverlaps++
 	st.UnionSteps += uint64(usteps)
 	if !uok {
@@ -358,18 +444,38 @@ func (bx *Index) probeBundle(r *record.Record, b *Bundle, st *Stats, emit func(M
 		var o int
 		if bx.cfg.OneByOneVerify {
 			var steps int
-			o, steps = overlapSteps(r.Tokens, m.Rec.Tokens)
+			o, steps = bx.overlapKernel(st, r.Tokens, &bx.probeP, bx.probeOK, m.Rec.Tokens, &m.full, m.fullOK)
 			st.VerifySteps += uint64(steps)
 		} else {
 			if !haveCore {
-				coreO, coreSteps = overlapSteps(r.Tokens, b.Core)
+				coreO, coreSteps = bx.overlapKernel(st, r.Tokens, &bx.probeP, bx.probeOK, b.Core, &b.coreP, b.coreOK)
 				haveCore = true
 				st.CoreOverlaps++
 				st.CoreSteps += uint64(coreSteps)
 				st.VerifySteps += uint64(coreSteps)
 			}
-			dO, dSteps := overlapSteps(r.Tokens, m.Delta)
+			// Delta bound: overlap(r, y) = coreO + overlap(r, Delta), and
+			// overlap(r, Delta) <= min(|Delta|, la - coreO) because Delta
+			// is disjoint from Core while r holds only la tokens, coreO of
+			// them already matched in Core. Members whose delta cannot
+			// close the gap skip the delta merge entirely.
+			dUB := len(m.Delta)
+			if rest := la - coreO; rest < dUB {
+				dUB = rest
+			}
+			if coreO+dUB < req {
+				st.MemberDeltaSkip++
+				continue
+			}
+			// Bounded delta merge: when it fails the member cannot match
+			// (no emission, so the exact size is not needed); when it
+			// passes dO is exact and o below is the true overlap.
+			dO, dSteps, dok := bx.overlapKernelBounded(st, r.Tokens, &bx.probeP, bx.probeOK, m.Delta, &m.deltaP, m.deltaOK, req-coreO)
 			st.VerifySteps += uint64(dSteps)
+			if !dok {
+				st.Verified++
+				continue
+			}
 			o = coreO + dO
 		}
 		st.Verified++
@@ -405,6 +511,11 @@ func (s *Stats) mergeVerify(o *Stats) {
 	s.UnionSteps += o.UnionSteps
 	s.CoreOverlaps += o.CoreOverlaps
 	s.SingletonFast += o.SingletonFast
+	s.KernelLinear += o.KernelLinear
+	s.KernelGallop += o.KernelGallop
+	s.KernelBitset += o.KernelBitset
+	s.BundleQuickSkip += o.BundleQuickSkip
+	s.MemberDeltaSkip += o.MemberDeltaSkip
 }
 
 // Dump visits every live member record in arrival order; returning false
@@ -477,13 +588,14 @@ func (bx *Index) Insert(r *record.Record, best Insertion) {
 	}
 	if target == nil {
 		bx.nextID++
-		target = &Bundle{ID: bx.nextID}
+		target = bx.al.bundle()
+		target.ID = bx.nextID
 		bx.stats.Bundles++
 		bx.stats.LiveBundles++
 	} else {
 		bx.stats.Appends++
 	}
-	newPosts := target.add(r, p, newCore)
+	newPosts := target.add(&bx.al, bx.cfg.Kernel, r, p, newCore)
 	for _, tok := range newPosts {
 		bx.posts[tok] = append(bx.posts[tok], target)
 	}

@@ -1,0 +1,87 @@
+// Kernel dispatch for the verify phase: every intersection in probeBundle
+// funnels through overlapKernel/overlapKernelBounded, which pick the
+// linear merge, the galloping merge, or the packed-bitset intersection
+// per similarity.KernelConfig and count the choice in Stats. All kernels
+// compute exact intersection sizes, so the kernel setting can never
+// change the emitted match stream — only the work profile and the
+// Kernel* counters. Packed forms are built by the single-writer phases
+// (Bundle.add, removeDead, collectCandidates for the probe) and read-only
+// during verification, which keeps the fanned ProbePar path lock-free.
+package bundle
+
+import (
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+)
+
+// packIf rebuilds dst's packed form from set when the kernel config wants
+// one for a set of this length, and records the outcome in ok.
+func packIf(kern similarity.KernelConfig, dst *similarity.Packed, ok *bool, set []tokens.Rank) {
+	if !kern.ShouldPack(set) {
+		*ok = false
+		return
+	}
+	similarity.PackInto(dst, set)
+	*ok = true
+}
+
+// overlapKernel computes |a∩b| with the configured kernel. ap/bp are the
+// cached packed forms of a and b (consulted only when the matching OK
+// flag is set). steps is the kernel's own unit of work — merge iterations
+// for linear, comparisons for gallop, word merges for bitset — reported
+// into the same Stats columns as before, so step counts are only
+// comparable within one kernel setting.
+//
+// parcheck: runs on the verifier pool. Reads the index and the cached
+// packed forms; all writes go to st.
+//
+// hotpath: zero-alloc — one call per verification merge.
+func (bx *Index) overlapKernel(st *Stats, a []tokens.Rank, ap *similarity.Packed, apOK bool, b []tokens.Rank, bp *similarity.Packed, bpOK bool) (o, steps int) {
+	if !apOK {
+		ap = nil
+	}
+	if !bpOK {
+		bp = nil
+	}
+	switch bx.cfg.Kernel.Choose(len(a), len(b), ap, bp) {
+	case similarity.KernelGallop:
+		st.KernelGallop++
+		return similarity.IntersectSizeGallop(a, b)
+	case similarity.KernelBitset:
+		st.KernelBitset++
+		return similarity.IntersectSizePacked(ap, bp)
+	default:
+		st.KernelLinear++
+		return overlapSteps(a, b)
+	}
+}
+
+// overlapKernelBounded is overlapKernel with VerifyOverlap's early
+// termination contract: ok reports whether required was met, and o is
+// exact when ok. The ok decision equals |a∩b| >= required for every
+// kernel, so bounded calls are kernel-parity-safe too.
+//
+// parcheck: runs on the verifier pool. Reads the index and the cached
+// packed forms; all writes go to st.
+//
+// hotpath: zero-alloc — one call per verification merge.
+func (bx *Index) overlapKernelBounded(st *Stats, a []tokens.Rank, ap *similarity.Packed, apOK bool, b []tokens.Rank, bp *similarity.Packed, bpOK bool, required int) (o, steps int, ok bool) {
+	if !apOK {
+		ap = nil
+	}
+	if !bpOK {
+		bp = nil
+	}
+	switch bx.cfg.Kernel.Choose(len(a), len(b), ap, bp) {
+	case similarity.KernelGallop:
+		st.KernelGallop++
+		return similarity.VerifyOverlapGallop(a, b, required)
+	case similarity.KernelBitset:
+		st.KernelBitset++
+		return similarity.VerifyOverlapPacked(ap, bp, required)
+	default:
+		st.KernelLinear++
+		o, steps, ok = overlapStepsBounded(a, b, required)
+		return o, steps, ok
+	}
+}

@@ -1,0 +1,97 @@
+package bundle
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/similarity"
+	"repro/internal/window"
+)
+
+// kernelMatrix is every forced kernel plus auto at cutoffs that exercise
+// all three paths on the test streams (tiny BitsetMinLen and GallopRatio
+// so short synthetic records still hit the bitset and gallop branches).
+var kernelMatrix = []similarity.KernelConfig{
+	{Mode: similarity.KernelLinear},
+	{Mode: similarity.KernelGallop},
+	{Mode: similarity.KernelBitset},
+	{Mode: similarity.KernelAuto},
+	{Mode: similarity.KernelAuto, GallopRatio: 2, BitsetMinLen: 4},
+}
+
+// TestKernelParityMatchStream is the kernel-choice analogue of the pool
+// parity gate: every kernel config must emit the byte-identical ordered
+// match stream of the linear reference, at every pool size. Work counters
+// are NOT compared across kernels (the kernel mix differs by design);
+// within one kernel config, serial-vs-parallel counter parity is covered
+// by requireStreams below.
+func TestKernelParityMatchStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	stream := duplicateHeavyStream(rng, 500, 40)
+	for _, tau := range []float64{0.5, 0.8} {
+		want, _ := runSequential(stream, tau, window.Count{N: 80}, Config{Kernel: similarity.KernelConfig{Mode: similarity.KernelLinear}})
+		if tau == 0.5 && len(want) == 0 {
+			t.Fatal("degenerate workload: linear reference found no matches")
+		}
+		for ki, kern := range kernelMatrix {
+			cfg := Config{Kernel: kern}
+			got, gotStats := runSequential(stream, tau, window.Count{N: 80}, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("τ=%v kernel#%d (%v): sequential stream diverges from linear (lengths %d vs %d)",
+					tau, ki, kern.Mode, len(got), len(want))
+			}
+			for _, p := range []int{2, 8} {
+				gotP, statsP := runParallel(stream, tau, window.Count{N: 80}, cfg, p)
+				requireStreams(t, fmt.Sprintf("τ=%v kernel#%d P=%d", tau, ki, p),
+					gotP, want, statsP, gotStats)
+			}
+		}
+	}
+}
+
+// TestKernelParityOneByOne re-checks kernel parity under the E8 ablation
+// config, whose verify path (full member merges) dispatches on the
+// members' full packed forms.
+func TestKernelParityOneByOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	stream := duplicateHeavyStream(rng, 300, 30)
+	want, _ := runSequential(stream, 0.6, window.Count{N: 100}, Config{OneByOneVerify: true})
+	for ki, kern := range kernelMatrix {
+		got, _ := runSequential(stream, 0.6, window.Count{N: 100}, Config{OneByOneVerify: true, Kernel: kern})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("kernel#%d (%v): one-by-one stream diverges (lengths %d vs %d)",
+				ki, kern.Mode, len(got), len(want))
+		}
+	}
+}
+
+// TestKernelCountersFire checks that the forced and low-cutoff-auto
+// configs actually exercise their kernels (otherwise the parity matrix
+// would vacuously pass on the linear path) and that the new prune
+// counters move on a grouping-heavy stream.
+func TestKernelCountersFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	stream := duplicateHeavyStream(rng, 400, 30)
+	run := func(cfg Config) Stats {
+		_, st := runSequential(stream, 0.6, window.Count{N: 100}, cfg)
+		return st
+	}
+	if st := run(Config{Kernel: similarity.KernelConfig{Mode: similarity.KernelGallop}}); st.KernelGallop == 0 || st.KernelBitset != 0 {
+		t.Fatalf("forced gallop counters: %+v", st)
+	}
+	if st := run(Config{Kernel: similarity.KernelConfig{Mode: similarity.KernelBitset}}); st.KernelBitset == 0 {
+		t.Fatalf("forced bitset never ran the bitset kernel")
+	}
+	if st := run(Config{Kernel: similarity.KernelConfig{Mode: similarity.KernelLinear}}); st.KernelGallop != 0 || st.KernelBitset != 0 {
+		t.Fatalf("forced linear ran a non-linear kernel: %+v", st)
+	}
+	st := run(Config{Kernel: similarity.KernelConfig{Mode: similarity.KernelAuto, GallopRatio: 2, BitsetMinLen: 4}})
+	if st.KernelGallop == 0 || st.KernelBitset == 0 || st.KernelLinear == 0 {
+		t.Fatalf("low-cutoff auto should mix all kernels: %+v", st)
+	}
+	if st.Pruned() == 0 {
+		t.Fatalf("no candidate was ever pruned pre-verify: %+v", st)
+	}
+}

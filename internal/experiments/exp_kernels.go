@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/local"
+	"repro/internal/similarity"
+	"repro/internal/workload"
+)
+
+// E21 is the verification-kernel sweep: the bundle joiner run with each
+// intersection kernel (linear merge, galloping, word-packed bitset, and
+// the auto dispatcher) over a verification-bound long-record stream and a
+// short-record duplicate-heavy stream. Every kernel computes exact
+// overlaps, so the result column must be constant within a profile — the
+// sweep is a perf comparison wrapped around a parity assertion. The mix
+// columns show which kernel the auto dispatcher actually picked per
+// overlap, and "pruned" counts candidates discarded by the upper-bound
+// checks before any kernel ran.
+func E21(sc Scale) *Table {
+	t := &Table{
+		ID:      "E21",
+		Title:   "Verification kernel sweep: linear vs gallop vs bitset vs auto (extension)",
+		Columns: []string{"profile", "kernel", "rec/s", "verify-steps", "linear", "gallop", "bitset", "pruned", "results"},
+		Notes:   "bundle joiner, single worker; results are identical across kernels by construction (exact overlaps); steps count merge comparisons for linear/gallop and packed words touched for bitset",
+	}
+	profiles := []struct {
+		name string
+		prof workload.Profile
+		tau  float64
+	}{
+		{"enron-like", workload.EnronLike(sc.Seed), 0.8},
+		{"tweet-like", workload.TweetLike(sc.Seed), 0.7},
+	}
+	kernels := []struct {
+		name string
+		mode similarity.Kernel
+	}{
+		{"linear", similarity.KernelLinear},
+		{"gallop", similarity.KernelGallop},
+		{"bitset", similarity.KernelBitset},
+		{"auto", similarity.KernelAuto},
+	}
+	for _, pr := range profiles {
+		recs := genProfile(pr.prof, sc.Records)
+		p := jaccard(pr.tau)
+		var wantResults uint64
+		haveWant := false
+		for _, kn := range kernels {
+			j := local.New(local.Bundled, local.Options{
+				Params: p,
+				Bundle: bundle.Config{Kernel: similarity.KernelConfig{Mode: kn.mode}},
+			})
+			start := time.Now()
+			var results uint64
+			for _, r := range recs {
+				j.Step(r, true, func(local.Match) { results++ })
+			}
+			elapsed := time.Since(start)
+			cost := j.Cost()
+			st := j.(interface{ BundleStats() bundle.Stats }).BundleStats()
+			if !haveWant {
+				wantResults, haveWant = results, true
+			} else if results != wantResults {
+				panic(fmt.Sprintf("experiments: E21 kernel %s on %s emitted %d results, linear emitted %d — kernels must agree exactly",
+					kn.name, pr.name, results, wantResults))
+			}
+			t.AddRow(pr.name, kn.name, float64(len(recs))/elapsed.Seconds(),
+				cost.VerifySteps, st.KernelLinear, st.KernelGallop, st.KernelBitset,
+				st.Pruned(), results)
+		}
+	}
+	return t
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/local"
 	"repro/internal/record"
+	"repro/internal/similarity"
 	"repro/internal/wire"
 )
 
@@ -43,6 +44,12 @@ type WorkerOpts struct {
 	// 0 or 1 keeps sessions single-threaded. Concurrent sessions each get
 	// their own pool.
 	Parallelism int
+	// Kernel selects this worker's verification intersection kernel
+	// (bundle algorithm only). Worker-local and deliberately not part of
+	// the wire protocol: every kernel computes exact overlaps, so the
+	// choice cannot change a session's results — a fleet may freely mix
+	// kernel settings per machine.
+	Kernel similarity.KernelConfig
 }
 
 func (o WorkerOpts) logf(format string, args ...interface{}) {
@@ -196,6 +203,7 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 		Bundle:      sess.Bundle,
 		Parallelism: o.Parallelism,
 	}
+	opts.Bundle.Kernel = o.Kernel
 	var (
 		joiner local.Joiner
 		bi     *local.BiJoiner

@@ -1,0 +1,351 @@
+// Verification kernels: interchangeable set-intersection routines behind
+// one dispatch configuration. The linear merge in similarity.go is the
+// reference; this file adds
+//
+//   - a galloping (exponential-search) merge for skewed length ratios,
+//     where the short side drives binary probes into the long side, and
+//   - a word-packed bitset intersection over a sparse block
+//     representation (Packed), where 64 ranks are tested per AND+popcount,
+//
+// together with KernelConfig, which picks a kernel per merge shape. Every
+// kernel computes the exact intersection size, so the join's emitted
+// matches are byte-identical for any kernel choice — only the work
+// profile changes. The bounded variants share VerifyOverlap's contract:
+// ok reports whether the requirement was met, and the returned overlap is
+// exact when ok and a meaningless lower bound when !ok.
+package similarity
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/tokens"
+)
+
+// Kernel selects an intersection routine.
+type Kernel uint8
+
+const (
+	// KernelAuto picks per merge: galloping when the length ratio reaches
+	// GallopRatio, bitset when both sides carry a Packed form dense
+	// enough for the word merge to beat the element merge, linear
+	// otherwise. The default.
+	KernelAuto Kernel = iota
+	// KernelLinear forces the reference linear merge.
+	KernelLinear
+	// KernelGallop forces the galloping merge.
+	KernelGallop
+	// KernelBitset forces the word-packed bitset intersection (falling
+	// back to linear when a side has no Packed form).
+	KernelBitset
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelLinear:
+		return "linear"
+	case KernelGallop:
+		return "gallop"
+	case KernelBitset:
+		return "bitset"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel converts a name produced by String back into a Kernel.
+func ParseKernel(name string) (Kernel, error) {
+	switch name {
+	case "", "auto":
+		return KernelAuto, nil
+	case "linear":
+		return KernelLinear, nil
+	case "gallop":
+		return KernelGallop, nil
+	case "bitset":
+		return KernelBitset, nil
+	default:
+		return 0, fmt.Errorf("similarity: unknown kernel %q", name)
+	}
+}
+
+// KernelConfig tunes kernel dispatch. The zero value means auto with
+// default cutoffs; WithDefaults materializes them.
+type KernelConfig struct {
+	// Mode selects the kernel (KernelAuto by default).
+	Mode Kernel
+	// GallopRatio is the minimum len(long)/len(short) ratio at which auto
+	// dispatch prefers the galloping merge (default 8). The galloping
+	// merge costs O(short · log(long/short)); below the ratio the linear
+	// merge's branch-predictable scan wins.
+	GallopRatio int
+	// BitsetMinLen is the minimum set length at which a Packed bitset
+	// representation is built and cached in auto mode (default 64).
+	// Below it the packing overhead exceeds the popcount advantage.
+	// Length is necessary but not sufficient: auto additionally
+	// requires the set's rank span to prove density (see ShouldPack).
+	BitsetMinLen int
+}
+
+// WithDefaults fills zero fields with the default cutoffs.
+func (k KernelConfig) WithDefaults() KernelConfig {
+	if k.GallopRatio == 0 {
+		k.GallopRatio = 8
+	}
+	if k.BitsetMinLen == 0 {
+		k.BitsetMinLen = 64
+	}
+	return k
+}
+
+// ShouldPack reports whether set (ascending, deduplicated ranks) should
+// carry a cached Packed form under this configuration: always in forced
+// bitset mode, never in linear/gallop mode. Auto mode packs only when
+// the set is long enough (BitsetMinLen) AND provably dense: the rank
+// span bounds the occupied block count from above, so span ≤ 32·n
+// guarantees an average of at least two set bits per word. Sets over a
+// wide vocabulary (span ≫ 32·n) can never win the word merge, and
+// skipping the pack keeps the insert path — where unions are repacked on
+// every member add — free of maintenance cost the verify phase would
+// never repay (E21, Enron-like: packing alone cost ~15% throughput).
+func (k KernelConfig) ShouldPack(set []tokens.Rank) bool {
+	n := len(set)
+	switch k.Mode {
+	case KernelBitset:
+		return n > 0
+	case KernelAuto:
+		if n < k.BitsetMinLen {
+			return false
+		}
+		span := int(set[n-1]) - int(set[0])
+		return span <= 32*n
+	default:
+		return false
+	}
+}
+
+// Choose picks the kernel for one merge of an la-element set against an
+// lb-element set; ap/bp are the sides' cached Packed forms, nil when a
+// side has none.
+//
+// Auto dispatch consults density, not just availability: the block merge
+// runs up to len(ap.Words)+len(bp.Words) iterations, each heavier than a
+// linear merge step (word loads, AND, and — in the bounded variant — two
+// popcounts for the remaining-overlap bound). On sparse rank sets, where
+// nearly every rank sits in its own block, that is the same iteration
+// count as the linear merge at roughly twice the per-step cost, and the
+// bitset kernel measures ~1.5× *slower* end-to-end (E21, Enron-like).
+// Auto therefore takes the bitset path only when the merge averages at
+// least two set bits per occupied word across both sides — i.e. the word
+// walk is at most half as long as the element walk. Forced bitset mode
+// skips the guard so sweeps and parity tests can pin the kernel.
+//
+// hotpath: zero-alloc — runs once per verification merge.
+func (k KernelConfig) Choose(la, lb int, ap, bp *Packed) Kernel {
+	switch k.Mode {
+	case KernelLinear:
+		return KernelLinear
+	case KernelGallop:
+		return KernelGallop
+	case KernelBitset:
+		if ap != nil && bp != nil {
+			return KernelBitset
+		}
+		return KernelLinear
+	}
+	short, long := la, lb
+	if short > long {
+		short, long = long, short
+	}
+	if long >= short*k.GallopRatio {
+		return KernelGallop
+	}
+	if ap != nil && bp != nil && len(ap.Words)+len(bp.Words) <= (la+lb)/4 {
+		return KernelBitset
+	}
+	return KernelLinear
+}
+
+// ---------------------------------------------------------------- gallop --
+
+// gallopTo returns the smallest index i >= from with b[i] >= x, probing
+// exponentially from `from` and binary-searching the final window. probes
+// counts comparisons, the galloping merge's unit of work.
+//
+// hotpath: zero-alloc — runs once per short-side element.
+func gallopTo(b []tokens.Rank, from int, x tokens.Rank) (idx, probes int) {
+	n := len(b)
+	if from >= n || b[from] >= x {
+		return from, 1
+	}
+	// Exponential probe: window (from+step/2, from+step] with b[lo] < x.
+	step := 1
+	lo := from
+	for lo+step < n && b[lo+step] < x {
+		lo += step
+		step <<= 1
+		probes++
+	}
+	hi := lo + step
+	if hi > n {
+		hi = n
+	}
+	// Binary search in (lo, hi): b[lo] < x <= b[hi] (virtual +inf at n).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		probes++
+		if b[mid] < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, probes + 1
+}
+
+// IntersectSizeGallop computes |a∩b| by galloping the shorter side
+// through the longer. Both slices must be ascending.
+//
+// hotpath: zero-alloc — verification inner loop.
+func IntersectSizeGallop(a, b []tokens.Rank) (o, probes int) {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	j := 0
+	for i := 0; i < len(a) && j < len(b); i++ {
+		idx, p := gallopTo(b, j, a[i])
+		probes += p
+		j = idx
+		if j < len(b) && b[j] == a[i] {
+			o++
+			j++
+		}
+	}
+	return o, probes
+}
+
+// VerifyOverlapGallop decides |a∩b| >= required by galloping merge with
+// early termination (VerifyOverlap's contract: exact overlap when ok).
+//
+// hotpath: zero-alloc — verification inner loop.
+func VerifyOverlapGallop(a, b []tokens.Rank, required int) (o, probes int, ok bool) {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	j := 0
+	for i := 0; i < len(a) && j < len(b); i++ {
+		rest := len(a) - i
+		if lb := len(b) - j; lb < rest {
+			rest = lb
+		}
+		if o+rest < required {
+			return o, probes, false
+		}
+		idx, p := gallopTo(b, j, a[i])
+		probes += p
+		j = idx
+		if j < len(b) && b[j] == a[i] {
+			o++
+			j++
+		}
+	}
+	return o, probes, o >= required
+}
+
+// ---------------------------------------------------------------- bitset --
+
+// Packed is the word-packed bitset form of an ascending rank slice: Words
+// holds the 64-rank block indices (rank >> 6) that contain at least one
+// member, ascending and deduplicated, and Bits holds the matching
+// occupancy words (bit k of Bits[i] set iff rank Words[i]*64 + k is
+// present). N caches the total popcount, i.e. the set size. For clustered
+// rank sets the representation tests up to 64 ranks per AND+popcount; in
+// the worst case (every rank in its own block) it degrades to a merge
+// with one popcount per element, which still matches the linear kernel's
+// asymptotics.
+type Packed struct {
+	Words []uint32
+	Bits  []uint64
+	N     int
+}
+
+// PackInto overwrites p with the packed form of set (ascending,
+// deduplicated ranks), reusing p's backing slices. The amortized cost is
+// one pass over set with no allocation once the slices have grown.
+func PackInto(p *Packed, set []tokens.Rank) {
+	p.Words = p.Words[:0]
+	p.Bits = p.Bits[:0]
+	p.N = len(set)
+	for _, r := range set {
+		w := uint32(r >> 6)
+		bit := uint64(1) << (r & 63)
+		if n := len(p.Words); n > 0 && p.Words[n-1] == w {
+			p.Bits[n-1] |= bit
+			continue
+		}
+		p.Words = append(p.Words, w)
+		p.Bits = append(p.Bits, bit)
+	}
+}
+
+// IntersectSizePacked computes |a∩b| by merging the block lists and
+// popcounting matching words. words counts merge iterations, the bitset
+// kernel's unit of work.
+//
+// hotpath: zero-alloc — verification inner loop.
+func IntersectSizePacked(a, b *Packed) (o, words int) {
+	i, j := 0, 0
+	for i < len(a.Words) && j < len(b.Words) {
+		words++
+		switch {
+		case a.Words[i] == b.Words[j]:
+			o += bits.OnesCount64(a.Bits[i] & b.Bits[j])
+			i++
+			j++
+		case a.Words[i] < b.Words[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return o, words
+}
+
+// VerifyOverlapPacked decides |a∩b| >= required over packed forms with
+// early termination: remaining popcounts bound the reachable overlap
+// exactly, so the scan aborts as soon as the requirement is out of reach
+// (VerifyOverlap's contract: exact overlap when ok).
+//
+// hotpath: zero-alloc — verification inner loop.
+func VerifyOverlapPacked(a, b *Packed, required int) (o, words int, ok bool) {
+	remA, remB := a.N, b.N
+	i, j := 0, 0
+	for i < len(a.Words) && j < len(b.Words) {
+		rest := remA
+		if remB < rest {
+			rest = remB
+		}
+		if o+rest < required {
+			return o, words, false
+		}
+		words++
+		switch {
+		case a.Words[i] == b.Words[j]:
+			o += bits.OnesCount64(a.Bits[i] & b.Bits[j])
+			remA -= bits.OnesCount64(a.Bits[i])
+			remB -= bits.OnesCount64(b.Bits[j])
+			i++
+			j++
+		case a.Words[i] < b.Words[j]:
+			remA -= bits.OnesCount64(a.Bits[i])
+			i++
+		default:
+			remB -= bits.OnesCount64(b.Bits[j])
+			j++
+		}
+	}
+	return o, words, o >= required
+}

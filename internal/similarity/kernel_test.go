@@ -1,0 +1,289 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tokens"
+)
+
+// genSorted returns n distinct ascending ranks drawn from [0, universe).
+func genSorted(rng *rand.Rand, n, universe int) []tokens.Rank {
+	if n > universe {
+		n = universe
+	}
+	seen := make(map[tokens.Rank]bool, n)
+	out := make([]tokens.Rank, 0, n)
+	for len(out) < n {
+		v := tokens.Rank(rng.Intn(universe))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sortRanks(out)
+	return out
+}
+
+// TestKernelsAgreeRandomized drives every kernel against the linear
+// reference across random set shapes, including heavy skew (the gallop
+// target) and clustered ranks (the bitset target).
+func TestKernelsAgreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var pa, pb Packed
+	for i := 0; i < 2000; i++ {
+		la, lb := rng.Intn(80), rng.Intn(80)
+		if i%3 == 0 { // force skew
+			lb = la*16 + rng.Intn(40)
+		}
+		universe := 1 + rng.Intn(400)
+		a := genSorted(rng, la, universe)
+		b := genSorted(rng, lb, universe)
+		want := IntersectSize(a, b)
+
+		if got, _ := IntersectSizeGallop(a, b); got != want {
+			t.Fatalf("iter %d: gallop=%d want %d (a=%v b=%v)", i, got, want, a, b)
+		}
+		PackInto(&pa, a)
+		PackInto(&pb, b)
+		if pa.N != len(a) || pb.N != len(b) {
+			t.Fatalf("iter %d: PackInto N mismatch: %d/%d want %d/%d", i, pa.N, pb.N, len(a), len(b))
+		}
+		if got, _ := IntersectSizePacked(&pa, &pb); got != want {
+			t.Fatalf("iter %d: bitset=%d want %d (a=%v b=%v)", i, got, want, a, b)
+		}
+
+		// Bounded variants must agree with VerifyOverlap on the ok
+		// decision for every requirement, and return the exact overlap
+		// whenever ok.
+		for _, req := range []int{0, 1, want, want + 1, len(a)} {
+			wantOK := want >= req || req <= 0
+			if o, _, ok := VerifyOverlapGallop(a, b, req); ok != wantOK || (ok && o != want) {
+				t.Fatalf("iter %d req %d: gallop verify (%d,%v) want (%d,%v)", i, req, o, ok, want, wantOK)
+			}
+			if o, _, ok := VerifyOverlapPacked(&pa, &pb, req); ok != wantOK || (ok && o != want) {
+				t.Fatalf("iter %d req %d: bitset verify (%d,%v) want (%d,%v)", i, req, o, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+// TestKernelEdgeShapes pins the boundary shapes: empty sides, identical
+// sets, disjoint sets, single elements at block boundaries.
+func TestKernelEdgeShapes(t *testing.T) {
+	cases := []struct{ a, b []tokens.Rank }{
+		{nil, nil},
+		{nil, ranks(1, 2, 3)},
+		{ranks(5), nil},
+		{ranks(1, 2, 3), ranks(1, 2, 3)},
+		{ranks(1, 2, 3), ranks(4, 5, 6)},
+		{ranks(63, 64, 127, 128), ranks(63, 128)}, // 64-rank block boundaries
+		{ranks(0), ranks(0)},
+		{ranks(1 << 20), ranks(1<<20-1, 1<<20, 1<<20+1)},
+	}
+	var pa, pb Packed
+	for i, c := range cases {
+		want := IntersectSize(c.a, c.b)
+		if got, _ := IntersectSizeGallop(c.a, c.b); got != want {
+			t.Fatalf("case %d: gallop=%d want %d", i, got, want)
+		}
+		PackInto(&pa, c.a)
+		PackInto(&pb, c.b)
+		if got, _ := IntersectSizePacked(&pa, &pb); got != want {
+			t.Fatalf("case %d: bitset=%d want %d", i, got, want)
+		}
+	}
+}
+
+// TestKernelConfigDispatch pins the auto-dispatch decisions the bundle
+// hot path relies on.
+func TestKernelConfigDispatch(t *testing.T) {
+	k := KernelConfig{}.WithDefaults()
+	if k.GallopRatio != 8 || k.BitsetMinLen != 64 {
+		t.Fatalf("defaults: %+v", k)
+	}
+	packOf := func(set []tokens.Rank) *Packed {
+		p := &Packed{}
+		PackInto(p, set)
+		return p
+	}
+	dense := make([]tokens.Rank, 100) // ranks 0..99: two blocks, 50 bits/word
+	sparse := make([]tokens.Rank, 100)
+	for i := range dense {
+		dense[i] = tokens.Rank(i)
+		sparse[i] = tokens.Rank(i * 64) // one block per rank: 1 bit/word
+	}
+	dp, sp := packOf(dense), packOf(sparse)
+	if got := k.Choose(10, 100, nil, nil); got != KernelGallop {
+		t.Fatalf("skewed unpacked: %v", got)
+	}
+	if got := k.Choose(100, 10, nil, nil); got != KernelGallop {
+		t.Fatalf("skew is symmetric: %v", got)
+	}
+	if got := k.Choose(100, 100, dp, dp); got != KernelBitset {
+		t.Fatalf("near-equal dense packed: %v", got)
+	}
+	if got := k.Choose(100, 100, sp, sp); got != KernelLinear {
+		t.Fatalf("sparse packed must not dispatch to bitset: %v", got)
+	}
+	if got := k.Choose(100, 100, dp, nil); got != KernelLinear {
+		t.Fatalf("near-equal half-packed: %v", got)
+	}
+	forced := (KernelConfig{Mode: KernelBitset}).WithDefaults()
+	if got := forced.Choose(100, 100, sp, sp); got != KernelBitset {
+		t.Fatalf("forced bitset must skip the density guard: %v", got)
+	}
+	if got := forced.Choose(3, 5, nil, sp); got != KernelLinear {
+		t.Fatalf("forced bitset without packed forms must fall back: %v", got)
+	}
+	for _, mode := range []Kernel{KernelAuto, KernelLinear, KernelGallop, KernelBitset} {
+		back, err := ParseKernel(mode.String())
+		if err != nil || back != mode {
+			t.Fatalf("round trip %v: %v %v", mode, back, err)
+		}
+	}
+	if _, err := ParseKernel("simd"); err == nil {
+		t.Fatal("unknown kernel name must error")
+	}
+	seq := func(n, stride int) []tokens.Rank {
+		s := make([]tokens.Rank, n)
+		for i := range s {
+			s[i] = tokens.Rank(i * stride)
+		}
+		return s
+	}
+	if !(KernelConfig{Mode: KernelBitset}).WithDefaults().ShouldPack(seq(1, 1)) {
+		t.Fatal("forced bitset packs everything")
+	}
+	if k.ShouldPack(seq(63, 1)) || !k.ShouldPack(seq(64, 1)) {
+		t.Fatal("auto packs dense sets at BitsetMinLen")
+	}
+	if k.ShouldPack(seq(64, 64)) {
+		t.Fatal("auto must not pack a sparse set (one rank per block)")
+	}
+	if (KernelConfig{Mode: KernelLinear}).WithDefaults().ShouldPack(seq(1000, 1)) {
+		t.Fatal("linear mode never packs")
+	}
+}
+
+// fuzzRanks decodes fuzz bytes into an ascending, deduplicated rank
+// slice: each byte is a positive delta (clamped to >= 1), so any input
+// yields a valid sorted set.
+func fuzzRanks(data []byte) []tokens.Rank {
+	out := make([]tokens.Rank, 0, len(data))
+	cur := tokens.Rank(0)
+	for _, d := range data {
+		cur += tokens.Rank(d%97) + 1
+		out = append(out, cur)
+	}
+	return out
+}
+
+// FuzzIntersectKernels differentially tests the galloping and bitset
+// kernels (and the scratch Into ops under the documented dst = a[:0]
+// aliasing contract) against the linear-merge reference.
+func FuzzIntersectKernels(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, uint8(2))
+	f.Add([]byte{}, []byte{5}, uint8(0))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, []byte{4, 4}, uint8(3))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, reqByte uint8) {
+		a := fuzzRanks(rawA)
+		b := fuzzRanks(rawB)
+		want := IntersectSize(a, b)
+		req := int(reqByte) % (want + 2)
+
+		if got, _ := IntersectSizeGallop(a, b); got != want {
+			t.Fatalf("gallop=%d want %d", got, want)
+		}
+		if o, _, ok := VerifyOverlapGallop(a, b, req); ok != (want >= req) || (ok && o != want) {
+			t.Fatalf("gallop verify req=%d: (%d,%v) want (%d,%v)", req, o, ok, want, want >= req)
+		}
+
+		var pa, pb Packed
+		PackInto(&pa, a)
+		PackInto(&pb, b)
+		if got, _ := IntersectSizePacked(&pa, &pb); got != want {
+			t.Fatalf("bitset=%d want %d", got, want)
+		}
+		if o, _, ok := VerifyOverlapPacked(&pa, &pb, req); ok != (want >= req) || (ok && o != want) {
+			t.Fatalf("bitset verify req=%d: (%d,%v) want (%d,%v)", req, o, ok, want, want >= req)
+		}
+
+		// Scratch ops under the in-place aliasing contract.
+		ac := append([]tokens.Rank(nil), a...)
+		got := IntersectInto(ac[:0], ac, b)
+		if len(got) != want {
+			t.Fatalf("in-place IntersectInto len=%d want %d", len(got), want)
+		}
+		ac = append(ac[:0], a...)
+		if got := SubtractInto(ac[:0], ac, b); len(got) != len(a)-want {
+			t.Fatalf("in-place SubtractInto len=%d want %d", len(got), len(a)-want)
+		}
+	})
+}
+
+// benchSets builds a deterministic (short, long) pair with roughly half
+// the short side present in the long side, at the given length ratio.
+func benchSets(short, long int) (a, b []tokens.Rank) {
+	rng := rand.New(rand.NewSource(1234))
+	b = genSorted(rng, long, long*4)
+	a = make([]tokens.Rank, 0, short)
+	seen := make(map[tokens.Rank]bool)
+	for len(a) < short/2 { // half from b
+		v := b[rng.Intn(len(b))]
+		if !seen[v] {
+			seen[v] = true
+			a = append(a, v)
+		}
+	}
+	for len(a) < short { // half fresh
+		v := tokens.Rank(rng.Intn(long * 4))
+		if !seen[v] {
+			seen[v] = true
+			a = append(a, v)
+		}
+	}
+	sortRanks(a)
+	return a, b
+}
+
+// The BenchmarkIntersect* family measures each kernel across the size
+// ratios that drive dispatch (1:1, 1:16, 1:256). CI asserts 0 allocs/op
+// on all of them: the packed variants reuse pre-built Packed forms, the
+// way the bundle index caches them.
+func benchmarkKernels(b *testing.B, short, long int) {
+	sa, sb := benchSets(short, long)
+	var pa, pb Packed
+	PackInto(&pa, sa)
+	PackInto(&pb, sb)
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = IntersectSize(sa, sb)
+		}
+	})
+	b.Run("gallop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink, _ = IntersectSizeGallop(sa, sb)
+		}
+	})
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink, _ = IntersectSizePacked(&pa, &pb)
+		}
+	})
+	b.Run("pack-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			PackInto(&pa, sa)
+		}
+	})
+}
+
+var sink int
+
+func BenchmarkIntersectEven(b *testing.B)    { benchmarkKernels(b, 1024, 1024) }
+func BenchmarkIntersectSkew16(b *testing.B)  { benchmarkKernels(b, 64, 1024) }
+func BenchmarkIntersectSkew256(b *testing.B) { benchmarkKernels(b, 16, 4096) }

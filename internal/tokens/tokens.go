@@ -8,6 +8,7 @@ package tokens
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"unicode"
@@ -220,7 +221,7 @@ func Dedup(ranks []Rank) []Rank {
 	if len(ranks) < 2 {
 		return ranks
 	}
-	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	slices.Sort(ranks)
 	w := 1
 	for i := 1; i < len(ranks); i++ {
 		if ranks[i] != ranks[i-1] {

@@ -40,7 +40,26 @@ type RecTuple struct {
 
 // SizeBytes approximates the wire size: record header (id + time + length)
 // plus 4 bytes per token.
-func (t RecTuple) SizeBytes() int { return 24 + 4*len(t.Rec.Tokens) }
+func (t *RecTuple) SizeBytes() int { return 24 + 4*len(t.Rec.Tokens) }
+
+// recSlab hands out RecTuples in chunks so spouts pay one allocation per
+// chunk instead of one interface-boxing allocation per record. Tuples are
+// never recycled — a chunk is garbage once its last tuple is processed —
+// so the slab needs no synchronization beyond the single spout goroutine.
+type recSlab struct {
+	chunk []RecTuple
+}
+
+const recSlabChunk = 256
+
+func (s *recSlab) get() *RecTuple {
+	if len(s.chunk) == 0 {
+		s.chunk = make([]RecTuple, recSlabChunk)
+	}
+	rt := &s.chunk[0]
+	s.chunk = s.chunk[1:]
+	return rt
+}
 
 // ResultTuple carries one verified join pair from a worker to the sink. It
 // travels as a pointer recycled through resultPool: the sink returns each
@@ -182,6 +201,7 @@ type sourceSpout struct {
 	recs   []*record.Record
 	i      int
 	tracer *obs.Tracer
+	slab   recSlab
 }
 
 // Next implements stream.Spout.
@@ -191,7 +211,8 @@ func (s *sourceSpout) Next() (stream.Tuple, bool) {
 	}
 	r := s.recs[s.i]
 	s.i++
-	rt := RecTuple{Rec: r, Enq: time.Now()}
+	rt := s.slab.get()
+	rt.Rec, rt.Enq = r, time.Now()
 	if tr := s.tracer.Sample(); tr != nil {
 		tr.Append("emit", "source", 0, -1, rt.Enq, rt.Enq)
 		rt.Trace = tr
@@ -210,6 +231,7 @@ type biSourceSpout struct {
 	recs   []BiRecord
 	i      int
 	tracer *obs.Tracer
+	slab   recSlab
 }
 
 // Next implements stream.Spout.
@@ -219,7 +241,8 @@ func (s *biSourceSpout) Next() (stream.Tuple, bool) {
 	}
 	br := s.recs[s.i]
 	s.i++
-	rt := RecTuple{Rec: br.Rec, Enq: time.Now(), Right: br.Right}
+	rt := s.slab.get()
+	rt.Rec, rt.Enq, rt.Right = br.Rec, time.Now(), br.Right
 	if tr := s.tracer.Sample(); tr != nil {
 		tr.Append("emit", "source", 0, -1, rt.Enq, rt.Enq)
 		rt.Trace = tr
@@ -239,7 +262,7 @@ type dispatcherBolt struct {
 // Execute implements stream.Bolt.
 func (d dispatcherBolt) Execute(t stream.Tuple, em stream.Emitter) {
 	if d.traced {
-		if rt, ok := t.(RecTuple); ok && rt.Trace != nil {
+		if rt, ok := t.(*RecTuple); ok && rt.Trace != nil {
 			parent, prev := rt.Trace.Tail()
 			rt.Trace.Append("dispatch", "dispatcher", d.task, parent, prev, time.Now())
 		}
@@ -264,9 +287,19 @@ type workerBolt struct {
 	wireBurnt time.Duration
 	// reorder restores arrival order under parallel dispatchers
 	// (nil when Dispatchers == 1).
-	reorder *reorder.Buffer[RecTuple]
+	reorder *reorder.Buffer[*RecTuple]
 	// bi replaces joiner in two-stream runs.
 	bi *local.BiJoiner
+	// emitFn is the per-match callback handed to the joiner, bound once at
+	// construction; cur* carry the record under probe so the hot path does
+	// not allocate a fresh closure per record. Bolts run single-threaded,
+	// so the fields need no locking.
+	emitFn       func(local.Match)
+	curRec       *record.Record
+	curEnq       time.Time
+	curTrace     *obs.Trace
+	curQueueSpan int
+	curEm        stream.Emitter
 }
 
 // burn spins the CPU for roughly d, standing in for per-tuple network and
@@ -285,14 +318,14 @@ func burn(d time.Duration) {
 // dispatchers the record first passes the reorder buffer so the joiner
 // always sees nondecreasing sequence numbers.
 func (w *workerBolt) Execute(t stream.Tuple, em stream.Emitter) {
-	rt := t.(RecTuple)
+	rt := t.(*RecTuple)
 	if w.wirePerB > 0 {
 		d := time.Duration(w.wirePerB * rt.SizeBytes())
 		burn(d)
 		w.wireBurnt += d
 	}
 	if w.reorder != nil {
-		w.reorder.Push(rt, func(ordered RecTuple) { w.process(ordered, em) })
+		w.reorder.Push(rt, func(ordered *RecTuple) { w.process(ordered, em) })
 		return
 	}
 	w.process(rt, em)
@@ -312,11 +345,31 @@ func (w *workerBolt) ExecuteBatch(ts []stream.Tuple, em stream.Emitter) {
 // Flush drains the reorder buffer at stream end.
 func (w *workerBolt) Flush(em stream.Emitter) {
 	if w.reorder != nil {
-		w.reorder.Flush(func(ordered RecTuple) { w.process(ordered, em) })
+		w.reorder.Flush(func(ordered *RecTuple) { w.process(ordered, em) })
 	}
 }
 
-func (w *workerBolt) process(rt RecTuple, em stream.Emitter) {
+// emitMatch is the joiner's per-match callback: strategy arbitration, then
+// a pooled ResultTuple to the sink. It reads the record under probe from
+// the cur* fields process() binds, so the same bound method value serves
+// every record without a per-record closure allocation.
+func (w *workerBolt) emitMatch(m local.Match) {
+	if !w.strat.Emits(w.curRec, m.Rec, w.task, w.k) {
+		return
+	}
+	w.results++
+	out := resultPool.Get().(*ResultTuple)
+	out.Pair = record.NewPair(w.curRec.ID, m.Rec.ID, m.Sim)
+	out.Enq = w.curEnq
+	if w.curTrace != nil {
+		now := time.Now()
+		out.Trace = w.curTrace
+		out.ParentSpan = w.curTrace.Append("verify", "worker", w.task, w.curQueueSpan, now, now)
+	}
+	w.curEm.Emit(out)
+}
+
+func (w *workerBolt) process(rt *RecTuple, em stream.Emitter) {
 	r := rt.Rec
 	store := w.strat.Stores(r, w.task, w.k)
 	if store {
@@ -331,25 +384,11 @@ func (w *workerBolt) process(rt RecTuple, em stream.Emitter) {
 		pstart = time.Now()
 		queueSpan = rt.Trace.Append("queue", "worker", w.task, parent, prev, pstart)
 	}
-	emit := func(m local.Match) {
-		if !w.strat.Emits(r, m.Rec, w.task, w.k) {
-			return
-		}
-		w.results++
-		out := resultPool.Get().(*ResultTuple)
-		out.Pair = record.NewPair(r.ID, m.Rec.ID, m.Sim)
-		out.Enq = rt.Enq
-		if rt.Trace != nil {
-			now := time.Now()
-			out.Trace = rt.Trace
-			out.ParentSpan = rt.Trace.Append("verify", "worker", w.task, queueSpan, now, now)
-		}
-		em.Emit(out)
-	}
+	w.curRec, w.curEnq, w.curTrace, w.curQueueSpan, w.curEm = r, rt.Enq, rt.Trace, queueSpan, em
 	if w.bi != nil {
-		w.bi.StepSide(r, rt.Right, store, emit)
+		w.bi.StepSide(r, rt.Right, store, w.emitFn)
 	} else {
-		w.joiner.Step(r, store, emit)
+		w.joiner.Step(r, store, w.emitFn)
 	}
 	if rt.Trace != nil {
 		rt.Trace.Append("process", "worker", w.task, queueSpan, pstart, time.Now())
@@ -399,6 +438,18 @@ func (w *workerBolt) registerJoinerMetrics(reg *obs.Registry, task int) {
 			}
 			return float64(ls.Results.Load()) / float64(v)
 		})
+	reg.CounterVec("verify_kernel_linear_total",
+		"Verification merges run by the linear intersection kernel.", "task").
+		SetFunc(label, func() float64 { return float64(ls.KernelLinear.Load()) })
+	reg.CounterVec("verify_kernel_gallop_total",
+		"Verification merges run by the galloping intersection kernel.", "task").
+		SetFunc(label, func() float64 { return float64(ls.KernelGallop.Load()) })
+	reg.CounterVec("verify_kernel_bitset_total",
+		"Verification merges run by the word-packed bitset kernel.", "task").
+		SetFunc(label, func() float64 { return float64(ls.KernelBitset.Load()) })
+	reg.CounterVec("verify_candidates_pruned_total",
+		"Candidates discarded by upper-bound checks before any kernel ran.", "task").
+		SetFunc(label, func() float64 { return float64(ls.Pruned.Load()) })
 }
 
 // registerPoolMetrics publishes the worker's verifier-pool counters to
@@ -567,7 +618,7 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 		}
 	}
 	routeGrouping := stream.PartitionFunc(func(t stream.Tuple, n int, buf []int) []int {
-		return cfg.Strategy.Route(t.(RecTuple).Rec, n, buf)
+		return cfg.Strategy.Route(t.(*RecTuple).Rec, n, buf)
 	})
 	// With one dispatcher arrival order is FIFO end to end; with several,
 	// skew is bounded by what can be in flight across dispatcher paths:
@@ -585,6 +636,7 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 			strat:    cfg.Strategy,
 			wirePerB: cfg.WireNsPerByte,
 		}
+		w.emitFn = w.emitMatch
 		switch {
 		case bi:
 			w.bi = local.NewBi(cfg.Algorithm, jopts)
@@ -598,7 +650,7 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 			}
 		}
 		if slack > 0 {
-			w.reorder = reorder.New(slack, func(rt RecTuple) uint64 { return uint64(rt.Rec.ID) })
+			w.reorder = reorder.New(slack, func(rt *RecTuple) uint64 { return uint64(rt.Rec.ID) })
 		}
 		if cfg.Registry != nil {
 			w.slat = &metrics.SyncLatency{}
