@@ -58,6 +58,14 @@ func main() {
 		rmt     = flag.String("remote", "", "comma-separated ssjoinworker addresses; replaces the in-process engine")
 		monitor = flag.String("monitor", "", "comma-separated worker HTTP (-http) addresses: scrape /metrics, print a cluster table, exit")
 
+		traceN     = flag.Int("trace", 0, "with -remote: sample 1 in N records for distributed tracing (0 disables; sampled records carry trace context to workers as the wire v3 annotation)")
+		scrape     = flag.String("scrape", "", "with -remote -trace: comma-separated worker HTTP (-http) addresses to collect span fragments and events from")
+		coordHTTP  = flag.String("http", "", "with -remote: coordinator HTTP address serving /metrics, /debug/traces (stitched), /debug/events, and /healthz")
+		linger     = flag.Duration("linger", 0, "with -remote -http: keep serving (and re-collecting) the debug endpoints this long after the run")
+		traces     = flag.Bool("traces", false, "with -monitor: collect /debug/traces from each address and render stitched trace trees")
+		watch      = flag.Duration("watch", 0, "with -monitor: re-scrape at this interval, evaluating health rules with hysteresis (0: scrape once and exit)")
+		healthSpec = flag.String("health-rules", "", "health/SLO rule file for -monitor and the coordinator /healthz (empty: built-in defaults; see docs/OBSERVABILITY.md)")
+
 		ft        = flag.Bool("ft", false, "fault-tolerant remote run: heartbeats, retry with backoff, checkpointed resume (requires -remote)")
 		retries   = flag.Int("retries", 4, "FT: consecutive failed reconnect attempts before a worker is declared dead")
 		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "FT: first-retry backoff delay")
@@ -70,7 +78,7 @@ func main() {
 	flag.Parse()
 
 	if *monitor != "" {
-		if err := runMonitor(*monitor); err != nil {
+		if err := runMonitor(*monitor, *traces, *watch, *healthSpec); err != nil {
 			fatal(err)
 		}
 		return
@@ -96,7 +104,24 @@ func main() {
 				Degraded:          *degraded,
 			}
 		}
-		if err := runRemote(*rmt, recs, *tau, *fn, *alg, *dist, *win, *pairs, ftCfg); err != nil {
+		rules, err := loadHealthRules(*healthSpec)
+		if err != nil {
+			fatal(err)
+		}
+		oc := obsConfig{
+			trace:    *traceN,
+			httpAddr: *coordHTTP,
+			linger:   *linger,
+			rules:    rules,
+			// Fold the workload identity into trace ids, shifted to leave
+			// the low bits for the per-record counter, so ids stay unique
+			// across coordinator restarts of the same session.
+			idBase: (uint64(*seed)*0x9e3779b97f4a7c15 + uint64(*n)) << 20,
+		}
+		if *scrape != "" {
+			oc.scrape = strings.Split(*scrape, ",")
+		}
+		if err := runRemote(*rmt, recs, *tau, *fn, *alg, *dist, *win, *pairs, ftCfg, oc); err != nil {
 			fatal(err)
 		}
 		return
@@ -225,11 +250,14 @@ func parsePart(s string) (ssjoin.Partitioner, error) {
 // runRemote executes the join on external workers over TCP. Ctrl-C cancels
 // the run: dials abort and worker connections close. With ftCfg set the
 // run goes through the fault-tolerant coordinator: each worker is dialed
-// (and re-dialed) on demand instead of up front.
-func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dist string, win int64, pairs bool, ftCfg *remote.FT) error {
+// (and re-dialed) on demand instead of up front. oc configures the
+// observability surface (tracing, event journal, coordinator debug
+// endpoints); the zero value turns all of it off.
+func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dist string, win int64, pairs bool, ftCfg *remote.FT, oc obsConfig) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	addrs := strings.Split(addrList, ",")
+	co := newCoordObs(oc)
 
 	f, err := similarity.ParseFunc(fn)
 	if err != nil {
@@ -258,14 +286,14 @@ func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dis
 		sess.Bounds = partition.LoadAware(w, len(addrs)).Bounds
 	}
 
+	opts := remote.Opts{CollectPairs: pairs, Tracer: co.tracer, Journal: co.journal}
 	var sum *remote.RunSummary
 	if ftCfg != nil {
 		dialer := func(ctx context.Context, task int) (io.ReadWriteCloser, error) {
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addrs[task])
 		}
-		sum, err = remote.RunFT(ctx, dialer, len(addrs), sess, recs,
-			remote.Opts{CollectPairs: pairs}, *ftCfg)
+		sum, err = remote.RunFT(ctx, dialer, len(addrs), sess, recs, opts, *ftCfg)
 	} else {
 		var conns []net.Conn
 		conns, err = remote.Dial(ctx, addrs, 5*time.Second)
@@ -281,7 +309,7 @@ func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dis
 		for i, c := range conns {
 			rws[i] = c
 		}
-		sum, err = remote.Run(ctx, rws, sess, recs, pairs)
+		sum, err = remote.RunWithOpts(ctx, rws, sess, recs, opts)
 	}
 	if err != nil {
 		return err
@@ -300,17 +328,11 @@ func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dis
 			"remote: ft: retries=%d reconnects=%d replayed=%d degraded=%v dead=%v\n",
 			sum.Retries, sum.Reconnects, sum.ReplayedRecords, sum.Degraded, sum.DeadWorkers)
 	}
+	if co.tracer.Enabled() || len(oc.scrape) > 0 {
+		co.report(ctx, os.Stderr)
+	}
+	co.finish(ctx)
 	return nil
-}
-
-// runMonitor scrapes each worker's /metrics endpoint (the HTTP address
-// given to ssjoinworker -http, not the TCP join port) and renders the
-// cluster status table.
-func runMonitor(addrList string) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	sts := remote.ScrapeCluster(ctx, nil, strings.Split(addrList, ","), 0)
-	return remote.ClusterTable(os.Stdout, sts)
 }
 
 func fatal(err error) {

@@ -166,14 +166,18 @@ func main() {
 		scale.Tracer = tracer
 	}
 	if *httpAd != "" {
-		srv := &http.Server{Addr: *httpAd, Handler: obs.NewDebugMux(reg, tracer)}
+		journal := obs.NewJournal(0)
+		journal.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		obs.AttachDebugOpts(mux, obs.DebugOptions{Registry: reg, Tracer: tracer, Journal: journal})
+		srv := &http.Server{Addr: *httpAd, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "ssjoinbench: debug server:", err)
 			}
 		}()
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "ssjoinbench: serving /metrics, /debug/traces, /debug/pprof on %s\n", *httpAd)
+		fmt.Fprintf(os.Stderr, "ssjoinbench: serving /metrics, /debug/traces, /debug/events, /debug/pprof on %s\n", *httpAd)
 	}
 
 	var runs []experiments.Experiment

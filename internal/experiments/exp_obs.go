@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/local"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/remote"
+	"repro/internal/workload"
+)
+
+// E22 measures the cost of cluster-wide distributed tracing on the TCP
+// runtime. The detached row (no tracer object at all) is the baseline;
+// the disabled row checks that merely owning a tracer costs nothing
+// (Sample is one atomic add on the nil path and the wire encoding stays
+// byte-identical); the sampled rows pay for real trace-context
+// annotations on the wire plus span-fragment recording on the workers.
+func E22(sc Scale) *Table {
+	t := &Table{
+		ID:      "E22",
+		Title:   fmt.Sprintf("Distributed tracing overhead, AOL-like, τ=0.8, k=%d, length-based (extension)", sc.Workers),
+		Columns: []string{"tracing", "throughput rec/s", "results", "sampled", "worker spans", "overhead %"},
+		Notes:   "overhead vs the tracer-detached baseline; detached and disabled rows must agree within noise (zero-cost-off contract)",
+	}
+	recs := genProfile(workload.AOLLike(sc.Seed), sc.Records)
+	p := jaccard(0.8)
+	k := sc.Workers
+
+	var h partition.Histogram
+	for _, r := range recs {
+		h.Add(r.Len())
+	}
+	w := partition.CostModel{Params: p}.Weights(&h)
+	sess := remote.Session{
+		Params:    p,
+		Algorithm: local.Bundled,
+		Strategy:  "length",
+		Bounds:    partition.LoadAware(w, k).Bounds,
+	}
+
+	var base float64
+	for _, row := range []struct {
+		name  string
+		every int
+		own   bool // construct a tracer object at all
+	}{
+		{"detached", 0, false},
+		{"disabled", 0, true},
+		{"sampled-1/64", 64, true},
+		{"sampled-1/8", 8, true},
+	} {
+		ctx := context.Background()
+		var tracer *obs.Tracer
+		if row.own {
+			tracer = obs.NewTracer(row.every, 256)
+		}
+		conns, frags, cleanup, err := loopbackWorkersTraced(ctx, k, row.every > 0)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: loopback workers: %v", err))
+		}
+		sum, err := remote.RunWithOpts(ctx, conns, sess, recs, remote.Opts{Tracer: tracer})
+		cleanup()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: traced remote run: %v", err))
+		}
+		thr := float64(sum.Records) / sum.Elapsed.Seconds()
+		if base == 0 {
+			base = thr
+		}
+		var spans uint64
+		for _, f := range frags {
+			spans += f.Recorded()
+		}
+		t.AddRow(row.name, thr, sum.Results, tracer.Sampled(), spans,
+			(base-thr)/base*100)
+	}
+	return t
+}
+
+// loopbackWorkersTraced starts k TCP workers on 127.0.0.1 and dials them.
+// With traced set, each worker records span fragments (the per-worker
+// Fragments stores are returned for span accounting); otherwise the
+// workers run the plain untraced path.
+func loopbackWorkersTraced(ctx context.Context, k int, traced bool) ([]io.ReadWriter, []*obs.Fragments, func(), error) {
+	var (
+		conns     []io.ReadWriter
+		frags     []*obs.Fragments
+		listeners []net.Listener
+		dialed    []net.Conn
+	)
+	cleanup := func() {
+		for _, c := range dialed {
+			c.Close()
+		}
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		listeners = append(listeners, ln)
+		opts := remote.WorkerOpts{Logf: func(string, ...interface{}) {}}
+		if traced {
+			f := obs.NewFragments(0)
+			frags = append(frags, f)
+			opts.Frags = f
+		}
+		go remote.ServeWorkerOpts(ctx, ln, opts) //nolint:errcheck
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		dialed = append(dialed, c)
+		conns = append(conns, c)
+	}
+	return conns, frags, cleanup, nil
+}

@@ -89,6 +89,7 @@ func All() []Experiment {
 		{"E19", "Token-ordering refresh under vocabulary drift (extension)", E19},
 		{"E20", "Intra-worker parallel verification scaling (extension)", E20},
 		{"E21", "Verification kernel sweep (extension)", E21},
+		{"E22", "Distributed tracing overhead (extension)", E22},
 	}
 }
 

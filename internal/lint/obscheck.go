@@ -22,9 +22,22 @@ import (
 //
 // Names or help strings computed at runtime are out of static reach and
 // pass unexamined; the registry's own validation remains the backstop.
+//
+// The check also guards label cardinality: every labeled family (a *Vec)
+// keeps one child series per distinct label value forever, so a label
+// value computed at runtime — a record id, an address, anything attacker-
+// or workload-shaped — grows /metrics without bound and eventually makes
+// scrapes unpayable. Calls to With or SetFunc whose label argument is not
+// a compile-time constant are therefore findings, unless the line (or the
+// line above) carries an
+//
+//	// obscheck: bounded — <why the value set is finite>
+//
+// marker documenting why the dynamic value set is actually bounded (edge
+// names fixed at wiring time, a task index capped by worker count, ...).
 var ObsCheck = &Analyzer{
 	Name: "obscheck",
-	Doc:  "metrics registered on an obs.Registry need snake_case names and non-empty help",
+	Doc:  "metrics registered on an obs.Registry need snake_case names, non-empty help, and bounded label cardinality",
 	Run:  runObsCheck,
 }
 
@@ -37,15 +50,40 @@ var obsRegistryMethods = map[string]bool{
 
 var obsNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
+// obsVecLabelMethods take a label value as their first argument and mint
+// a child series per distinct value.
+var obsVecLabelMethods = map[string]bool{"With": true, "SetFunc": true}
+
+// obsVecTypes are the labeled-family handle types those methods hang off.
+var obsVecTypes = map[string]bool{"CounterVec": true, "GaugeVec": true, "HistogramVec": true}
+
+// obsBoundedRe matches a well-formed bounded-cardinality marker: the
+// justification after "bounded" is mandatory, so every suppression
+// documents why the value set is finite.
+// (The justification may not open with a slash, so a trailing comment
+// does not pass for one.)
+var obsBoundedRe = regexp.MustCompile(`^//\s*obscheck:\s*bounded\b\s*(?:—|--|-|:)?\s*[^\s/]`)
+
+// obsBoundedPrefixRe catches markers that name the check but lack the
+// justification.
+var obsBoundedPrefixRe = regexp.MustCompile(`^//\s*obscheck:\s*bounded\b`)
+
 func runObsCheck(pass *Pass) error {
 	for _, f := range pass.Files {
+		bounded := obsBoundedLines(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !obsRegistryMethods[sel.Sel.Name] {
+			if !ok {
+				return true
+			}
+			if obsVecLabelMethods[sel.Sel.Name] {
+				checkObsLabelArg(pass, call, sel, bounded)
+			}
+			if !obsRegistryMethods[sel.Sel.Name] {
 				return true
 			}
 			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
@@ -64,6 +102,66 @@ func runObsCheck(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkObsLabelArg flags a With/SetFunc call on an obs Vec type whose
+// label value is computed at runtime and not covered by a bounded marker.
+func checkObsLabelArg(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, bounded map[int]bool) {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !isObsVecMethod(fn) || len(call.Args) < 1 {
+		return
+	}
+	if _, isConst := constString(pass, call.Args[0]); isConst {
+		return
+	}
+	// Key the marker lookup off the label argument's line: chained
+	// multi-line calls start lines earlier, but the marker belongs next to
+	// the value it justifies.
+	line := pass.Fset.Position(call.Args[0].Pos()).Line
+	if bounded[line] || bounded[line-1] {
+		return
+	}
+	pass.Reportf(call.Args[0].Pos(),
+		"label value for %s is computed at runtime: unbounded label cardinality grows /metrics forever; "+
+			"mark the call `// obscheck: bounded — <why>` if the value set is provably finite",
+		sel.Sel.Name)
+}
+
+// obsBoundedLines maps line numbers carrying a bounded-cardinality marker,
+// reporting markers whose mandatory justification is missing.
+func obsBoundedLines(pass *Pass, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if obsBoundedRe.MatchString(c.Text) {
+				lines[pass.Fset.Position(c.Pos()).Line] = true
+			} else if obsBoundedPrefixRe.MatchString(c.Text) {
+				pass.Reportf(c.Pos(),
+					"bounded-cardinality marker needs a justification: `// obscheck: bounded — <why the value set is finite>`")
+			}
+		}
+	}
+	return lines
+}
+
+// isObsVecMethod reports whether fn is a method on a named *Vec family
+// type declared in a package named obs (name-based, like
+// isObsRegistryMethod, so the fixture's stand-ins are covered).
+func isObsVecMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obsVecTypes[obj.Name()] && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
 }
 
 // isObsRegistryMethod reports whether fn is a method on a named type

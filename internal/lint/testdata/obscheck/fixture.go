@@ -1,9 +1,10 @@
 // Package obs (fixture) exercises obscheck: families registered on a
-// Registry must carry snake_case names and non-empty help text. The
-// Registry below mirrors internal/obs's constructor surface just enough
-// for the receiver-type match (named type Registry in a package named
-// obs); the fixture loader type-checks against the standard library only,
-// so the real package cannot be imported here.
+// Registry must carry snake_case names and non-empty help text, and
+// labeled families (*Vec) must not take runtime-computed label values
+// without a bounded-cardinality marker. The types below mirror
+// internal/obs's surface just enough for the receiver-type match (named
+// types in a package named obs); the fixture loader type-checks against
+// the standard library only, so the real package cannot be imported here.
 package obs
 
 // Counter is a stand-in family handle.
@@ -11,6 +12,21 @@ type Counter struct{ v uint64 }
 
 // Gauge is a stand-in family handle.
 type Gauge struct{ v uint64 }
+
+// CounterVec is the stand-in labeled counter family.
+type CounterVec struct{}
+
+// With mimics the child-per-label-value accessor.
+func (cv *CounterVec) With(label string) *Counter { return &Counter{} }
+
+// GaugeVec is the stand-in labeled gauge family.
+type GaugeVec struct{}
+
+// With mimics the child-per-label-value accessor.
+func (gv *GaugeVec) With(label string) *Gauge { return &Gauge{} }
+
+// SetFunc mimics the callback-backed child binder.
+func (gv *GaugeVec) SetFunc(label string, f func() float64) {}
 
 // Registry is the stand-in for internal/obs.Registry.
 type Registry struct{}
@@ -25,7 +41,10 @@ func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
 func (r *Registry) CounterFunc(name, help string, f func() float64) {}
 
 // GaugeVec mimics the labeled-family constructor.
-func (r *Registry) GaugeVec(name, help, label string) *Gauge { return &Gauge{} }
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec { return &GaugeVec{} }
+
+// CounterVec mimics the labeled-family constructor.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec { return &CounterVec{} }
 
 const depthHelp = "queued batches per edge"
 
@@ -48,4 +67,29 @@ func wire(r *Registry) {
 
 func pick() string { return "chosen_at_runtime" }
 
+const staticLabel = "bundle"
+
+// cardinality exercises the unbounded-label-value pass: constant labels
+// and marker-documented bounded sets pass; anything else computed at
+// runtime is a finding.
+func cardinality(r *Registry, edges []string, recordID string) {
+	gv := r.GaugeVec("edge_depth_ok", "queued batches per edge", "edge")
+	cv := r.CounterVec("kernel_calls_total", "verification kernel invocations", "kernel")
+
+	gv.With("fixed")      // compliant: constant label
+	cv.With(staticLabel)  // compliant: named constant
+	gv.With(recordID)     // want "unbounded label cardinality"
+	cv.With("id:" + recordID) // want "unbounded label cardinality"
+	gv.SetFunc(recordID, func() float64 { return 0 }) // want "unbounded label cardinality"
+
+	for _, e := range edges {
+		gv.With(e) // obscheck: bounded — edge names are fixed at topology wiring time
+	}
+	// obscheck: bounded — edge set is fixed at topology wiring time
+	gv.SetFunc(edges[0], func() float64 { return 0 })
+
+	gv.With(edges[0]) // obscheck: bounded // want "unbounded label cardinality" "needs a justification"
+}
+
 var _ = wire
+var _ = cardinality

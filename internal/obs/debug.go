@@ -15,10 +15,36 @@ import (
 	"time"
 )
 
-// AttachDebug mounts /metrics, /debug/traces, and /debug/pprof/* on mux.
-// reg may not be nil; tracer may be nil (traces endpoint serves an empty
-// list).
-func AttachDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
+// DebugOptions selects what AttachDebugOpts mounts. Registry is
+// mandatory; everything else is optional and nil-safe.
+type DebugOptions struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Tracer contributes locally rooted traces to /debug/traces.
+	Tracer *Tracer
+	// Fragments contributes this process's remote-trace span fragments to
+	// /debug/traces (the worker side of distributed tracing).
+	Fragments *Fragments
+	// Stitcher contributes the stitched cluster trace view to
+	// /debug/traces (the coordinator side).
+	Stitcher *Stitcher
+	// Journal backs /debug/events.
+	Journal *Journal
+}
+
+// TraceDoc is the /debug/traces JSON document: whichever of the three
+// trace surfaces the process owns.
+type TraceDoc struct {
+	Sampled   uint64             `json:"sampled_total"`
+	Traces    []TraceSnapshot    `json:"traces"`
+	Fragments []FragmentSnapshot `json:"fragments,omitempty"`
+	Stitched  *StitchSnapshot    `json:"stitched,omitempty"`
+}
+
+// AttachDebugOpts mounts /metrics, /debug/traces, /debug/events, and
+// /debug/pprof/* on mux according to o.
+func AttachDebugOpts(mux *http.ServeMux, o DebugOptions) {
+	reg, tracer := o.Registry, o.Tracer
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", ExpositionContentType)
 		reg.WriteExposition(w) //nolint:errcheck — best effort over HTTP
@@ -29,25 +55,48 @@ func AttachDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
 		if s := req.URL.Query().Get("n"); s != "" {
 			limit, _ = strconv.Atoi(s)
 		}
-		traces := tracer.Recent()
-		if limit > 0 && limit < len(traces) {
-			traces = traces[:limit]
+		doc := TraceDoc{Sampled: tracer.Sampled(), Traces: tracer.Recent(), Fragments: o.Fragments.Snapshot()}
+		if limit > 0 && limit < len(doc.Traces) {
+			doc.Traces = doc.Traces[:limit]
 		}
-		if traces == nil {
-			traces = []TraceSnapshot{}
+		if doc.Traces == nil {
+			doc.Traces = []TraceSnapshot{}
+		}
+		if o.Stitcher != nil {
+			snap := o.Stitcher.Snapshot()
+			if limit > 0 && limit < len(snap.Traces) {
+				snap.Traces = snap.Traces[:limit]
+			}
+			doc.Stitched = &snap
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(struct { //nolint:errcheck — best effort over HTTP
-			Sampled uint64          `json:"sampled_total"`
-			Traces  []TraceSnapshot `json:"traces"`
-		}{Sampled: tracer.Sampled(), Traces: traces})
+		enc.Encode(doc) //nolint:errcheck — best effort over HTTP
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := o.Journal.Snapshot()
+		if s := req.URL.Query().Get("n"); s != "" {
+			if n, _ := strconv.Atoi(s); n > 0 && n < len(snap.Events) {
+				snap.Events = snap.Events[len(snap.Events)-n:]
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap) //nolint:errcheck — best effort over HTTP
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// AttachDebug mounts the classic surface: /metrics, /debug/traces, and
+// /debug/pprof/*. reg may not be nil; tracer may be nil (traces endpoint
+// serves an empty list).
+func AttachDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
+	AttachDebugOpts(mux, DebugOptions{Registry: reg, Tracer: tracer})
 }
 
 // NewDebugMux returns a fresh mux with the debug surface mounted.

@@ -1,0 +1,89 @@
+// Histogram exemplars: a tiny bounded sample of (value, trace id) pairs
+// attached to a histogram family, so a scraped bucket can point at one
+// concrete sampled trace that landed in it — the link a firing latency
+// SLO uses to answer "show me a slow one". Stores are registered on the
+// Registry by family name; the exposition writer renders them as
+// OpenMetrics-style `# {trace_id="..."} value ts` suffixes on _bucket
+// lines, and ParseExposition reads them back.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// exemplarRing bounds how many exemplars one family retains.
+const exemplarRing = 8
+
+// Exemplar is one (observation, trace) pair.
+type Exemplar struct {
+	// TraceID is the sampled trace that produced the observation.
+	TraceID uint64
+	// Value is the observed value in the family's unit (seconds for the
+	// latency histograms).
+	Value float64
+	// UnixNs stamps the observation.
+	UnixNs int64
+}
+
+// ExemplarStore retains the most recent exemplars of one family. All
+// methods are nil-safe, so the observing path needs no attachment branch
+// beyond the trace-id != 0 check it already makes.
+type ExemplarStore struct {
+	mu   sync.Mutex
+	ring [exemplarRing]Exemplar // guarded by mu
+	n    int                    // guarded by mu
+	next int                    // guarded by mu
+}
+
+// Observe records one exemplar (ignored when traceID is 0 or the store
+// nil).
+func (e *ExemplarStore) Observe(value float64, traceID uint64) {
+	if e == nil || traceID == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	e.mu.Lock()
+	e.ring[e.next] = Exemplar{TraceID: traceID, Value: value, UnixNs: now}
+	e.next = (e.next + 1) % exemplarRing
+	if e.n < exemplarRing {
+		e.n++
+	}
+	e.mu.Unlock()
+}
+
+// Snapshot returns the retained exemplars (unordered). Nil-safe (empty).
+func (e *ExemplarStore) Snapshot() []Exemplar {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Exemplar, e.n)
+	copy(out, e.ring[:e.n])
+	return out
+}
+
+// ExemplarsFor returns the exemplar store attached to the named family,
+// creating it on first use. The store is independent of the collector's
+// lifecycle: rebinding a HistogramFunc keeps its exemplars.
+func (r *Registry) ExemplarsFor(name string) *ExemplarStore {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ex == nil {
+		r.ex = make(map[string]*ExemplarStore)
+	}
+	e, ok := r.ex[name]
+	if !ok {
+		e = &ExemplarStore{}
+		r.ex[name] = e
+	}
+	return e
+}
+
+// exemplarsOf returns the store under name without creating one.
+func (r *Registry) exemplarsOf(name string) *ExemplarStore {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ex[name]
+}

@@ -58,13 +58,20 @@ func writeSeries(w io.Writer, name string, pairs [][2]string, value string) erro
 
 // WriteExposition renders the registry in Prometheus text format, families
 // sorted by name, label values sorted within a family. Histogram bucket
-// bounds are emitted in seconds.
+// bounds are emitted in seconds; when a family has an exemplar store,
+// bucket lines gain OpenMetrics-style `# {trace_id="..."} value ts`
+// suffixes, each exemplar attached to the first bucket that covers it.
 func (r *Registry) WriteExposition(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, fam := range r.Gather() {
 		if _, err := fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n",
 			fam.Desc.Name, fam.Desc.Help, fam.Desc.Name, fam.Kind); err != nil {
 			return err
+		}
+		var exs []Exemplar
+		if fam.Kind == KindHistogram {
+			exs = r.exemplarsOf(fam.Desc.Name).Snapshot()
+			sort.Slice(exs, func(i, j int) bool { return exs[i].Value < exs[j].Value })
 		}
 		for _, s := range fam.Samples {
 			var base [][2]string
@@ -77,7 +84,7 @@ func (r *Registry) WriteExposition(w io.Writer) error {
 				}
 				continue
 			}
-			if err := writeHistogram(bw, fam.Desc.Name, base, s.Hist); err != nil {
+			if err := writeHistogram(bw, fam.Desc.Name, base, s.Hist, &exs); err != nil {
 				return err
 			}
 		}
@@ -85,22 +92,41 @@ func (r *Registry) WriteExposition(w io.Writer) error {
 	return bw.Flush()
 }
 
+// exemplarSuffix renders (and consumes) the first pending exemplar inside
+// (lo, hi]; "" when none fits.
+func exemplarSuffix(exs *[]Exemplar, lo, hi float64) string {
+	for i, e := range *exs {
+		if e.Value > lo && (e.Value <= hi || math.IsInf(hi, 1)) {
+			*exs = append((*exs)[:i], (*exs)[i+1:]...)
+			return fmt.Sprintf(" # {trace_id=\"%016x\"} %s %s",
+				e.TraceID, formatValue(e.Value),
+				strconv.FormatFloat(float64(e.UnixNs)/1e9, 'f', 3, 64))
+		}
+	}
+	return ""
+}
+
 // writeHistogram renders one histogram sample as cumulative buckets plus
 // _sum and _count, bounds in seconds.
-func writeHistogram(w io.Writer, name string, base [][2]string, h *metrics.Latency) error {
+func writeHistogram(w io.Writer, name string, base [][2]string, h *metrics.Latency, exs *[]Exemplar) error {
 	var cum uint64
+	prevHi := 0.0
 	for _, b := range h.Buckets() {
 		if b.Hi == time.Duration(math.MaxInt64) {
 			continue // folded into the trailing +Inf bucket
 		}
 		cum += b.Count
-		pairs := append(append([][2]string(nil), base...), [2]string{"le", formatValue(b.Hi.Seconds())})
-		if err := writeSeries(w, name+"_bucket", pairs, strconv.FormatUint(cum, 10)); err != nil {
+		hi := b.Hi.Seconds()
+		pairs := append(append([][2]string(nil), base...), [2]string{"le", formatValue(hi)})
+		v := strconv.FormatUint(cum, 10) + exemplarSuffix(exs, prevHi, hi)
+		if err := writeSeries(w, name+"_bucket", pairs, v); err != nil {
 			return err
 		}
+		prevHi = hi
 	}
 	pairs := append(append([][2]string(nil), base...), [2]string{"le", "+Inf"})
-	if err := writeSeries(w, name+"_bucket", pairs, strconv.FormatUint(h.Count(), 10)); err != nil {
+	v := strconv.FormatUint(h.Count(), 10) + exemplarSuffix(exs, prevHi, math.Inf(1))
+	if err := writeSeries(w, name+"_bucket", pairs, v); err != nil {
 		return err
 	}
 	if err := writeSeries(w, name+"_sum", base, formatValue(h.Sum().Seconds())); err != nil {
@@ -111,10 +137,38 @@ func writeHistogram(w io.Writer, name string, base [][2]string, h *metrics.Laten
 
 // ------------------------------------------------------------- parsing --
 
-// ParsedSample is one scraped series: its labels and value.
+// ParsedSample is one scraped series: its labels and value, plus the
+// optional exemplar and timestamp carried on the line.
 type ParsedSample struct {
 	Labels map[string]string
 	Value  float64
+	// TimestampMs is the optional sample timestamp (0 when absent).
+	TimestampMs int64
+	// Exemplar is the optional `# {...} value ts` exemplar (nil when
+	// absent).
+	Exemplar *ParsedExemplar
+}
+
+// ParsedExemplar is one scraped exemplar.
+type ParsedExemplar struct {
+	Labels map[string]string
+	Value  float64
+	// TimestampS is the optional exemplar timestamp in unix seconds (0
+	// when absent).
+	TimestampS float64
+}
+
+// TraceID returns the trace id an exemplar links to (0 when absent or
+// malformed). The writer emits 16 hex digits under the trace_id key.
+func (e *ParsedExemplar) TraceID() uint64 {
+	if e == nil {
+		return 0
+	}
+	id, err := strconv.ParseUint(e.Labels["trace_id"], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return id
 }
 
 // ParsedFamily is one scraped metric family.
@@ -208,39 +262,89 @@ func familyFor(out ParsedMetrics, name string) *ParsedFamily {
 	return fam
 }
 
-// parseSample parses `name{k="v",...} value` into its family.
+// parseSample parses `name{k="v",...} value [timestamp] [# {...} v [ts]]`
+// into its family. The label set is scanned quote-aware — values may
+// contain escaped quotes, backslashes, newlines, and even `}` or `#` —
+// so the scan never confuses a byte inside a quoted value with syntax.
 func parseSample(line string, out ParsedMetrics) error {
 	name := line
 	labels := map[string]string{}
 	rest := ""
-	if i := strings.IndexByte(line, '{'); i >= 0 {
+	if i := strings.IndexAny(line, "{ \t"); i >= 0 {
 		name = line[:i]
-		j := strings.LastIndexByte(line, '}')
-		if j < i {
-			return fmt.Errorf("unterminated label set in %q", line)
+		if line[i] == '{' {
+			var err error
+			labels, rest, err = scanLabelSet(line[i:])
+			if err != nil {
+				return fmt.Errorf("%w in %q", err, line)
+			}
+		} else {
+			rest = line[i:]
 		}
-		var err error
-		labels, err = parseLabels(line[i+1 : j])
-		if err != nil {
-			return fmt.Errorf("%w in %q", err, line)
-		}
-		rest = strings.TrimSpace(line[j+1:])
-	} else if i := strings.IndexAny(line, " \t"); i >= 0 {
-		name = line[:i]
-		rest = strings.TrimSpace(line[i:])
+		rest = strings.TrimSpace(rest)
 	} else {
 		return fmt.Errorf("sample line %q has no value", line)
 	}
 	if !nameRe.MatchString(name) {
 		return fmt.Errorf("metric name %q is not snake_case", name)
 	}
-	v, err := parseNumber(rest)
-	if err != nil {
-		return fmt.Errorf("bad value %q: %w", rest, err)
+	sample := ParsedSample{Labels: labels}
+	// Split off the exemplar section; '#' cannot occur in a value or
+	// timestamp, which is all that precedes it.
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		exPart := strings.TrimSpace(rest[i+1:])
+		rest = strings.TrimSpace(rest[:i])
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		sample.Exemplar = ex
 	}
+	fields := strings.Fields(rest)
+	switch len(fields) {
+	case 1:
+	case 2:
+		ts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad timestamp %q: %w", fields[1], err)
+		}
+		sample.TimestampMs = ts
+	default:
+		return fmt.Errorf("sample line %q has no value", line)
+	}
+	v, err := parseNumber(fields[0])
+	if err != nil {
+		return fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	sample.Value = v
 	fam := familyFor(out, name)
-	fam.Samples = append(fam.Samples, ParsedSample{Labels: labels, Value: v})
+	fam.Samples = append(fam.Samples, sample)
 	return nil
+}
+
+// parseExemplar parses `{k="v",...} value [ts]` (the part after `# `).
+func parseExemplar(s string) (*ParsedExemplar, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, fmt.Errorf("exemplar %q does not start with a label set", s)
+	}
+	labels, rest, err := scanLabelSet(s)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar %q needs a value and optional timestamp", s)
+	}
+	ex := &ParsedExemplar{Labels: labels}
+	if ex.Value, err = parseNumber(fields[0]); err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if ex.TimestampS, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q: %w", fields[1], err)
+		}
+	}
+	return ex, nil
 }
 
 // parseNumber accepts Go floats plus the exposition spellings of infinity.
@@ -256,27 +360,43 @@ func parseNumber(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
-// parseLabels parses `k="v",k2="v2"`.
-func parseLabels(s string) (map[string]string, error) {
+// scanLabelSet consumes a leading `{k="v",...}` group and returns the
+// labels plus whatever follows the closing brace. The scan tracks quoting
+// through scanQuoted, so `}`/`#`/`,` inside a quoted value never
+// terminate the set early.
+func scanLabelSet(s string) (map[string]string, string, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, "", fmt.Errorf("label set %q does not start with {", s)
+	}
 	labels := map[string]string{}
-	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+	s = s[1:]
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) == 0 {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
 		eq := strings.IndexByte(s, '=')
 		if eq < 0 {
-			return nil, fmt.Errorf("label pair %q has no =", s)
+			return nil, "", fmt.Errorf("label pair %q has no =", s)
 		}
 		key := strings.TrimSpace(s[:eq])
 		s = strings.TrimSpace(s[eq+1:])
 		if len(s) == 0 || s[0] != '"' {
-			return nil, fmt.Errorf("label %q value is not quoted", key)
+			return nil, "", fmt.Errorf("label %q value is not quoted", key)
 		}
 		val, rest, err := scanQuoted(s)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		labels[key] = val
-		s = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		s = strings.TrimSpace(rest)
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
 	}
-	return labels, nil
 }
 
 // scanQuoted consumes a leading quoted string with \\, \", \n escapes.

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionEscapedLabelRoundTrip drives nasty label values through
+// the writer and back through the parser: backslashes, quotes, newlines,
+// and syntax bytes (`}`, `#`, `,`) inside values must all survive.
+func TestExpositionEscapedLabelRoundTrip(t *testing.T) {
+	nasty := []string{
+		`back\slash`,
+		`qu"ote`,
+		"new\nline",
+		`brace}inside`,
+		`hash#inside`,
+		`comma,inside`,
+		`all\of"them}#,` + "\n" + `mixed`,
+	}
+	reg := NewRegistry()
+	vec := reg.GaugeVec("escape_test_gauge", "escape torture", "edge")
+	for i, v := range nasty {
+		vec.With(v).Set(float64(i + 1)) // obscheck: bounded — fixed test table
+	}
+	var sb strings.Builder
+	if err := reg.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse of own output failed: %v\n%s", err, sb.String())
+	}
+	fam := pm["escape_test_gauge"]
+	if fam == nil {
+		t.Fatalf("family missing from round trip:\n%s", sb.String())
+	}
+	got := map[string]float64{}
+	for _, s := range fam.Samples {
+		got[s.Labels["edge"]] = s.Value
+	}
+	for i, v := range nasty {
+		if got[v] != float64(i+1) {
+			t.Errorf("label %q round-tripped to %v (want %d); full keys: %q", v, got[v], i+1, keysOf(got))
+		}
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestExpositionNonFiniteValues covers +Inf/-Inf/NaN sample values in both
+// directions.
+func TestExpositionNonFiniteValues(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		chk  func(float64) bool
+	}{
+		{"edge_metric 42\nedge_inf +Inf\n", func(v float64) bool { return math.IsInf(v, 1) }},
+		{"edge_metric 42\nedge_inf Inf\n", func(v float64) bool { return math.IsInf(v, 1) }},
+		{"edge_metric 42\nedge_inf -Inf\n", func(v float64) bool { return math.IsInf(v, -1) }},
+		{"edge_metric 42\nedge_inf NaN\n", math.IsNaN},
+	} {
+		pm, err := ParseExposition(strings.NewReader(tc.text))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.text, err)
+		}
+		if v := pm.Value("edge_inf", 0); !tc.chk(v) {
+			t.Errorf("%q parsed to %v", tc.text, v)
+		}
+	}
+	if formatValue(math.Inf(1)) != "+Inf" || formatValue(math.Inf(-1)) != "-Inf" {
+		t.Error("formatValue must spell infinities the exposition way")
+	}
+}
+
+// TestExpositionSampleTimestamps covers the optional trailing millisecond
+// timestamp on sample lines.
+func TestExpositionSampleTimestamps(t *testing.T) {
+	pm, err := ParseExposition(strings.NewReader("stamped_total 5 1712345678901\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pm["stamped_total"].Samples[0]
+	if s.Value != 5 || s.TimestampMs != 1712345678901 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+// TestExpositionExemplarParsing covers the OpenMetrics exemplar suffix:
+// labels, value, optional timestamp, and trace-id extraction.
+func TestExpositionExemplarParsing(t *testing.T) {
+	text := `rt_seconds_bucket{le="0.1"} 3 # {trace_id="00000000000000ab"} 0.053 1712345678.123
+rt_seconds_bucket{le="+Inf"} 4
+`
+	pm, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := pm["rt_seconds_bucket"].Samples
+	ex := samples[0].Exemplar
+	if ex == nil {
+		t.Fatal("exemplar not parsed")
+	}
+	if ex.TraceID() != 0xab {
+		t.Fatalf("TraceID = %#x, want 0xab", ex.TraceID())
+	}
+	if ex.Value != 0.053 || ex.TimestampS != 1712345678.123 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+	if samples[1].Exemplar != nil {
+		t.Fatal("bucket without exemplar must parse with nil exemplar")
+	}
+}
+
+// TestExpositionExemplarWriteReadLoop drives an exemplar through the
+// registry: observe a traced latency, write the exposition, parse it, and
+// find the trace id attached to a covering bucket.
+func TestExpositionExemplarWriteReadLoop(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("loop_seconds", "histogram with exemplars")
+	h.Observe(50 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	reg.ExemplarsFor("loop_seconds").Observe(0.050, 0xdeadbeef)
+
+	var sb strings.Builder
+	if err := reg.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `trace_id="00000000deadbeef"`) {
+		t.Fatalf("exposition lacks the exemplar:\n%s", sb.String())
+	}
+	pm, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse of own output failed: %v\n%s", err, sb.String())
+	}
+	var found bool
+	for _, s := range pm["loop_seconds_bucket"].Samples {
+		if s.Exemplar.TraceID() == 0xdeadbeef {
+			found = true
+			if s.Exemplar.Value != 0.050 {
+				t.Fatalf("exemplar value = %v", s.Exemplar.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no bucket carried the exemplar:\n%s", sb.String())
+	}
+}
+
+// TestExpositionMalformedLinesRejected pins down the failure modes the
+// hardened parser must still reject.
+func TestExpositionMalformedLinesRejected(t *testing.T) {
+	for _, bad := range []string{
+		`m{l="unterminated} 1`,
+		`m{l="dangling\} 1`,
+		`m{l=unquoted} 1`,
+		`m{l="v"} 1 2 3`,
+		`m{l="v"} 1 # notbrace 2`,
+		`m{l="v"} 1 # {t="x"} `,
+		`m{l="v"} 1 # {t="x"} 1 2 3`,
+		`m{l="v"}`,
+		`Bad-Name 1`,
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseExposition accepted %q", bad)
+		}
+	}
+}
+
+// TestExemplarStoreRing covers the bounded exemplar ring itself.
+func TestExemplarStoreRing(t *testing.T) {
+	var nilStore *ExemplarStore
+	nilStore.Observe(1, 1) // nil-safe
+	if len(nilStore.Snapshot()) != 0 {
+		t.Fatal("nil store must be empty")
+	}
+	reg := NewRegistry()
+	st := reg.ExemplarsFor("ring_seconds")
+	if st != reg.ExemplarsFor("ring_seconds") {
+		t.Fatal("ExemplarsFor must return the same store per family")
+	}
+	st.Observe(1, 0) // trace id 0 is "not traced" and must be ignored
+	for i := 1; i <= 20; i++ {
+		st.Observe(float64(i), uint64(i))
+	}
+	snap := st.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("ring holds %d exemplars, want 8", len(snap))
+	}
+	for _, e := range snap {
+		if e.TraceID < 13 {
+			t.Fatalf("ring kept stale exemplar %+v", e)
+		}
+	}
+}

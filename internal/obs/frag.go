@@ -1,0 +1,181 @@
+// Worker-side trace fragments. A traced tuple crosses the wire carrying
+// only (trace id, parent span index); the worker has no *Trace to append
+// to, so it records spans into a Fragments store keyed by trace id, with
+// absolute wall-clock bounds. The coordinator scrapes /debug/traces,
+// collects each worker's fragments, and a Stitcher reassembles them under
+// the originating root trace. The store is bounded two ways — a fragment
+// ring with FIFO eviction and a per-fragment span cap — so a hostile or
+// long-running stream can never grow it without bound, and Append never
+// blocks on anything but its own mutex.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxFragSpans caps the spans one fragment retains; later appends to a
+// full fragment are counted but discarded.
+const maxFragSpans = 512
+
+// FragSpan is one span recorded against a remote trace.
+type FragSpan struct {
+	Stage     string
+	Component string
+	Task      int
+	// Parent is the index of the causally preceding span within the same
+	// fragment, or -1 to attach at the fragment's wire parent (the span
+	// index inside the coordinator's root trace that shipped the tuple).
+	Parent     int
+	Start, End time.Time
+}
+
+type fragment struct {
+	traceID    uint64
+	wireParent int
+	spans      []FragSpan
+	truncated  uint64
+}
+
+// Fragments is a bounded store of span fragments keyed by trace id.
+// Nil-safe: a nil *Fragments ignores appends, so the record path needs no
+// tracing branch beyond the trace-id != 0 check.
+type Fragments struct {
+	recorded atomic.Uint64
+
+	mu      sync.Mutex
+	capRing int
+	byID    map[uint64]*fragment // guarded by mu
+	order   []uint64             // guarded by mu; FIFO ring of trace ids
+	next    int                  // guarded by mu
+	evicted uint64               // guarded by mu
+}
+
+// NewFragments returns a store retaining fragments for the most recent
+// capacity trace ids (capacity <= 0 selects 256).
+func NewFragments(capacity int) *Fragments {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Fragments{
+		capRing: capacity,
+		byID:    make(map[uint64]*fragment, capacity),
+		order:   make([]uint64, 0, capacity),
+	}
+}
+
+// Append records one span against traceID and returns its index within
+// the fragment (for chaining a child span), or -1 when nothing was
+// recorded (nil store, zero trace id, or a full fragment). wireParent is
+// the parent span index carried across the wire; it is fixed by the first
+// append for a given trace id.
+func (f *Fragments) Append(traceID uint64, wireParent int, stage, component string, task, parent int, start, end time.Time) int {
+	if f == nil || traceID == 0 {
+		return -1
+	}
+	if end.Before(start) {
+		end = start
+	}
+	f.recorded.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fr := f.byID[traceID]
+	if fr == nil {
+		fr = &fragment{traceID: traceID, wireParent: wireParent}
+		// Claim a ring slot, evicting the oldest fragment when full.
+		if len(f.order) < f.capRing {
+			f.order = append(f.order, traceID)
+		} else {
+			delete(f.byID, f.order[f.next])
+			f.order[f.next] = traceID
+			f.next = (f.next + 1) % f.capRing
+			f.evicted++
+		}
+		f.byID[traceID] = fr
+	}
+	if len(fr.spans) >= maxFragSpans {
+		fr.truncated++
+		return -1
+	}
+	fr.spans = append(fr.spans, FragSpan{
+		Stage: stage, Component: component, Task: task,
+		Parent: parent, Start: start, End: end,
+	})
+	return len(fr.spans) - 1
+}
+
+// Recorded returns the total spans ever appended (including discarded
+// overflow). Nil-safe.
+func (f *Fragments) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.recorded.Load()
+}
+
+// FragSpanSnapshot is a FragSpan in JSON form with absolute timestamps
+// (the worker knows no root start to offset against).
+type FragSpanSnapshot struct {
+	Stage       string  `json:"stage"`
+	Component   string  `json:"component"`
+	Task        int     `json:"task"`
+	Parent      int     `json:"parent"`
+	StartUnixNs int64   `json:"start_unix_ns"`
+	DurationUs  float64 `json:"duration_us"`
+}
+
+// FragmentSnapshot is one trace's worth of remote spans in JSON form.
+type FragmentSnapshot struct {
+	TraceID    uint64             `json:"trace_id"`
+	WireParent int                `json:"wire_parent"`
+	Truncated  uint64             `json:"truncated_spans,omitempty"`
+	Spans      []FragSpanSnapshot `json:"spans"`
+}
+
+// Snapshot returns the retained fragments, oldest trace first. Nil-safe
+// (empty).
+func (f *Fragments) Snapshot() []FragmentSnapshot {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FragmentSnapshot, 0, len(f.order))
+	for i := 0; i < len(f.order); i++ {
+		fr := f.byID[f.order[(f.next+i)%len(f.order)]]
+		if fr == nil {
+			continue
+		}
+		fs := FragmentSnapshot{TraceID: fr.traceID, WireParent: fr.wireParent, Truncated: fr.truncated}
+		for _, s := range fr.spans {
+			fs.Spans = append(fs.Spans, FragSpanSnapshot{
+				Stage:       s.Stage,
+				Component:   s.Component,
+				Task:        s.Task,
+				Parent:      s.Parent,
+				StartUnixNs: s.Start.UnixNano(),
+				DurationUs:  float64(s.End.Sub(s.Start)) / 1e3,
+			})
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// RegisterMetrics exposes fragment-store volume counters on reg.
+func (f *Fragments) RegisterMetrics(reg *Registry) {
+	reg.CounterFunc("trace_fragment_spans_total",
+		"Spans recorded against remote traces on this process.",
+		func() float64 { return float64(f.Recorded()) })
+	reg.CounterFunc("trace_fragments_evicted_total",
+		"Trace fragments evicted from the bounded ring.",
+		func() float64 {
+			if f == nil {
+				return 0
+			}
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.evicted)
+		})
+}

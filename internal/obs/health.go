@@ -1,0 +1,278 @@
+// Declarative health/SLO rules with hysteresis. A rule watches one named
+// signal (queue occupancy, p99 record latency, scrape-to-scrape load
+// rate, imbalance, checkpoint lag, ...) against a threshold and fires
+// only after `for N` consecutive breaching evaluations — one flapping
+// scrape never pages — then resolves after the same number of clean ones.
+// Firing and resolving append journal events carrying an exemplar trace
+// id, so a breached latency SLO links straight to a sampled trace that
+// exhibits it. The engine evaluates per target ("self" on a worker, one
+// target per worker coordinator-side over remote.ScrapeCluster rows) and
+// serves a machine-readable summary at /healthz?detail=1.
+//
+// Rule syntax, one rule per line (# comments and blank lines skipped):
+//
+//	<name>: <signal> <op> <threshold> [for <n>]
+//
+// e.g.
+//
+//	slow_tail: p99_ms > 250 for 3
+//	idle_worker: load < 1 for 5
+//
+// op is > or <; `for` defaults to 1 (fire immediately).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HealthRule is one declarative SLO rule.
+type HealthRule struct {
+	// Name identifies the rule in events and status output.
+	Name string `json:"name"`
+	// Signal names the reading the rule watches (e.g. "queue", "p99_ms",
+	// "load", "imbalance", "checkpoint_lag_s"). Targets missing the
+	// signal are skipped, not breached.
+	Signal string `json:"signal"`
+	// Op is ">" (breach when above threshold) or "<" (breach when below).
+	Op string `json:"op"`
+	// Threshold is the breach bound.
+	Threshold float64 `json:"threshold"`
+	// For is the hysteresis width: consecutive breaching evaluations
+	// before firing, and consecutive clean ones before resolving (>= 1).
+	For int `json:"for"`
+}
+
+// String renders the rule back in its own syntax.
+func (r HealthRule) String() string {
+	return fmt.Sprintf("%s: %s %s %g for %d", r.Name, r.Signal, r.Op, r.Threshold, r.For)
+}
+
+// breached reports whether v violates the rule.
+func (r HealthRule) breached(v float64) bool {
+	if r.Op == "<" {
+		return v < r.Threshold
+	}
+	return v > r.Threshold
+}
+
+// ParseHealthRules parses the rule syntax above.
+func ParseHealthRules(text string) ([]HealthRule, error) {
+	var rules []HealthRule
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("obs: health rule line %d: missing \"name:\" prefix", ln+1)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 && len(fields) != 5 {
+			return nil, fmt.Errorf("obs: health rule line %d: want \"signal op threshold [for n]\", got %q", ln+1, rest)
+		}
+		r := HealthRule{Name: strings.TrimSpace(name), Signal: fields[0], Op: fields[1], For: 1}
+		if r.Name == "" || r.Signal == "" {
+			return nil, fmt.Errorf("obs: health rule line %d: empty name or signal", ln+1)
+		}
+		if r.Op != ">" && r.Op != "<" {
+			return nil, fmt.Errorf("obs: health rule line %d: op %q, want > or <", ln+1, r.Op)
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: health rule line %d: threshold %q: %v", ln+1, fields[2], err)
+		}
+		r.Threshold = v
+		if len(fields) == 5 {
+			if fields[3] != "for" {
+				return nil, fmt.Errorf("obs: health rule line %d: expected \"for\", got %q", ln+1, fields[3])
+			}
+			n, err := strconv.Atoi(fields[4])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("obs: health rule line %d: \"for\" count %q must be a positive integer", ln+1, fields[4])
+			}
+			r.For = n
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// DefaultHealthRules is the stock fleet rule set the CLIs install when no
+// -health-rules override is given. Thresholds are intentionally loose:
+// they catch a stuck or drowning worker, not a busy one.
+func DefaultHealthRules() []HealthRule {
+	rules, err := ParseHealthRules(`
+queue_backlog: queue > 50000 for 3
+slow_tail: p99_ms > 1000 for 3
+overload: load > 5000000 for 3
+imbalance: imbalance > 3 for 3
+checkpoint_stall: checkpoint_lag_s > 60 for 2
+`)
+	if err != nil {
+		panic("obs: default health rules failed to parse: " + err.Error())
+	}
+	return rules
+}
+
+// ruleState is the hysteresis window of one (rule, target) pair.
+type ruleState struct {
+	rule     HealthRule
+	target   string
+	bad      int // consecutive breaching evaluations
+	good     int // consecutive clean evaluations
+	firing   bool
+	value    float64
+	exemplar uint64
+	sinceNs  int64 // transition stamp of the current firing/ok state
+}
+
+// RuleStatus is the machine-readable state of one (rule, target) pair.
+type RuleStatus struct {
+	Rule        string  `json:"rule"`
+	Target      string  `json:"target"`
+	Signal      string  `json:"signal"`
+	Op          string  `json:"op"`
+	Threshold   float64 `json:"threshold"`
+	Value       float64 `json:"value"`
+	Firing      bool    `json:"firing"`
+	Breaches    int     `json:"breaches"`
+	SinceUnixNs int64   `json:"since_unix_ns,omitempty"`
+	// ExemplarTraceID links to a sampled trace observed while the rule
+	// was breaching (0 = none captured).
+	ExemplarTraceID uint64 `json:"exemplar_trace_id,omitempty"`
+}
+
+// HealthStatus is the /healthz?detail=1 document.
+type HealthStatus struct {
+	Healthy bool         `json:"healthy"`
+	Firing  int          `json:"firing"`
+	Rules   []RuleStatus `json:"rules"`
+}
+
+// HealthEngine evaluates a rule set over per-target signal readings and
+// journals firing/resolved transitions.
+type HealthEngine struct {
+	rules   []HealthRule
+	journal *Journal
+
+	mu    sync.Mutex
+	state map[string]*ruleState // guarded by mu; keyed rule|target
+}
+
+// NewHealthEngine builds an engine over rules; journal may be nil (state
+// transitions are then only visible via Status).
+func NewHealthEngine(rules []HealthRule, journal *Journal) *HealthEngine {
+	return &HealthEngine{rules: rules, journal: journal, state: make(map[string]*ruleState)}
+}
+
+// Rules returns the installed rule set.
+func (e *HealthEngine) Rules() []HealthRule { return e.rules }
+
+// Eval runs one evaluation round for target over its signal readings.
+// exemplar is a trace id observed around this round (0 = none); it is
+// retained on breaching rules so a firing event links to a concrete
+// trace. Nil-safe.
+func (e *HealthEngine) Eval(target string, signals map[string]float64, exemplar uint64) {
+	if e == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.rules {
+		v, ok := signals[r.Signal]
+		if !ok {
+			continue
+		}
+		key := r.Name + "|" + target
+		st := e.state[key]
+		if st == nil {
+			st = &ruleState{rule: r, target: target, sinceNs: now}
+			e.state[key] = st
+		}
+		st.value = v
+		if r.breached(v) {
+			st.bad++
+			st.good = 0
+			if exemplar != 0 {
+				st.exemplar = exemplar
+			}
+			if !st.firing && st.bad >= r.For {
+				st.firing = true
+				st.sinceNs = now
+				e.journal.AppendTrace("health_fire", target,
+					fmt.Sprintf("%s: %s=%g breaches %s %g (x%d)", r.Name, r.Signal, v, r.Op, r.Threshold, st.bad),
+					st.exemplar)
+			}
+		} else {
+			st.good++
+			st.bad = 0
+			if st.firing && st.good >= r.For {
+				st.firing = false
+				st.sinceNs = now
+				e.journal.AppendTrace("health_resolve", target,
+					fmt.Sprintf("%s: %s=%g back within %s %g", r.Name, r.Signal, v, r.Op, r.Threshold),
+					st.exemplar)
+				st.exemplar = 0
+			}
+		}
+	}
+}
+
+// Forget drops all state for a target (e.g. a worker removed from the
+// fleet), so dead targets cannot hold rules firing forever.
+func (e *HealthEngine) Forget(target string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, st := range e.state {
+		if st.target == target {
+			delete(e.state, k)
+		}
+	}
+}
+
+// Status returns the engine's full (rule, target) state, sorted for
+// stable output. Nil-safe (healthy, empty).
+func (e *HealthEngine) Status() HealthStatus {
+	out := HealthStatus{Healthy: true, Rules: []RuleStatus{}}
+	if e == nil {
+		return out
+	}
+	e.mu.Lock()
+	for _, st := range e.state {
+		rs := RuleStatus{
+			Rule:            st.rule.Name,
+			Target:          st.target,
+			Signal:          st.rule.Signal,
+			Op:              st.rule.Op,
+			Threshold:       st.rule.Threshold,
+			Value:           st.value,
+			Firing:          st.firing,
+			Breaches:        st.bad,
+			SinceUnixNs:     st.sinceNs,
+			ExemplarTraceID: st.exemplar,
+		}
+		if st.firing {
+			out.Healthy = false
+			out.Firing++
+		}
+		out.Rules = append(out.Rules, rs)
+	}
+	e.mu.Unlock()
+	sort.Slice(out.Rules, func(a, b int) bool {
+		if out.Rules[a].Target != out.Rules[b].Target {
+			return out.Rules[a].Target < out.Rules[b].Target
+		}
+		return out.Rules[a].Rule < out.Rules[b].Rule
+	})
+	return out
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseHealthRules(t *testing.T) {
+	rules, err := ParseHealthRules(`
+# comment
+slow_tail: p99_ms > 250 for 3
+idle: load < 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	if r := rules[0]; r.Name != "slow_tail" || r.Signal != "p99_ms" || r.Op != ">" || r.Threshold != 250 || r.For != 3 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if r := rules[1]; r.For != 1 || r.Op != "<" {
+		t.Fatalf("rule 1 = %+v (for must default to 1)", r)
+	}
+	if got := rules[0].String(); got != "slow_tail: p99_ms > 250 for 3" {
+		t.Fatalf("String() = %q", got)
+	}
+
+	for _, bad := range []string{
+		"no colon here",
+		"r: sig >= 5",
+		"r: sig > notanumber",
+		"r: sig > 5 for 0",
+		"r: sig > 5 whenever 3",
+		"r: sig >",
+	} {
+		if _, err := ParseHealthRules(bad); err == nil {
+			t.Errorf("ParseHealthRules(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestDefaultHealthRulesParse(t *testing.T) {
+	if len(DefaultHealthRules()) == 0 {
+		t.Fatal("no default rules")
+	}
+}
+
+func TestHealthHysteresisAndJournal(t *testing.T) {
+	j := NewJournal(16)
+	rules, _ := ParseHealthRules("slow: p99_ms > 100 for 3")
+	e := NewHealthEngine(rules, j)
+
+	breach := map[string]float64{"p99_ms": 500}
+	clean := map[string]float64{"p99_ms": 10}
+
+	e.Eval("w0", breach, 0x1)
+	e.Eval("w0", breach, 0x2)
+	if st := e.Status(); !st.Healthy || st.Firing != 0 {
+		t.Fatalf("fired before `for 3` satisfied: %+v", st)
+	}
+	e.Eval("w0", breach, 0x3)
+	st := e.Status()
+	if st.Healthy || st.Firing != 1 {
+		t.Fatalf("rule must fire on 3rd breach: %+v", st)
+	}
+	if st.Rules[0].ExemplarTraceID != 0x3 {
+		t.Fatalf("exemplar = %#x, want latest breaching trace 0x3", st.Rules[0].ExemplarTraceID)
+	}
+
+	// One clean round must not resolve (hysteresis both directions).
+	e.Eval("w0", clean, 0)
+	if st := e.Status(); st.Healthy {
+		t.Fatal("resolved after a single clean evaluation")
+	}
+	e.Eval("w0", clean, 0)
+	e.Eval("w0", clean, 0)
+	if st := e.Status(); !st.Healthy {
+		t.Fatal("did not resolve after 3 clean evaluations")
+	}
+
+	var fires, resolves int
+	for _, ev := range j.Recent(0) {
+		switch ev.Type {
+		case "health_fire":
+			fires++
+			if ev.TraceID == 0 {
+				t.Error("health_fire event lost its exemplar trace id")
+			}
+			if !strings.Contains(ev.Msg, "slow") {
+				t.Errorf("fire msg %q does not name the rule", ev.Msg)
+			}
+		case "health_resolve":
+			resolves++
+		}
+	}
+	if fires != 1 || resolves != 1 {
+		t.Fatalf("journal saw %d fires / %d resolves, want 1/1", fires, resolves)
+	}
+}
+
+func TestHealthMissingSignalSkipped(t *testing.T) {
+	rules, _ := ParseHealthRules("ckpt: checkpoint_lag_s > 60")
+	e := NewHealthEngine(rules, nil)
+	e.Eval("w0", map[string]float64{"queue": 3}, 0) // signal absent
+	if st := e.Status(); len(st.Rules) != 0 {
+		t.Fatalf("missing signal must not create state: %+v", st.Rules)
+	}
+}
+
+func TestHealthForget(t *testing.T) {
+	rules, _ := ParseHealthRules("q: queue > 1")
+	e := NewHealthEngine(rules, nil)
+	e.Eval("w0", map[string]float64{"queue": 5}, 0)
+	e.Eval("w1", map[string]float64{"queue": 5}, 0)
+	if st := e.Status(); st.Firing != 2 {
+		t.Fatalf("want both targets firing, got %+v", st)
+	}
+	e.Forget("w0")
+	st := e.Status()
+	if st.Firing != 1 || len(st.Rules) != 1 || st.Rules[0].Target != "w1" {
+		t.Fatalf("Forget(w0) left %+v", st)
+	}
+}
+
+func TestHealthStatusSorted(t *testing.T) {
+	rules, _ := ParseHealthRules("b: x > 0\na: x > 0")
+	e := NewHealthEngine(rules, nil)
+	e.Eval("w1", map[string]float64{"x": 1}, 0)
+	e.Eval("w0", map[string]float64{"x": 1}, 0)
+	st := e.Status()
+	if len(st.Rules) != 4 {
+		t.Fatalf("want 4 rule states, got %d", len(st.Rules))
+	}
+	want := []struct{ target, rule string }{{"w0", "a"}, {"w0", "b"}, {"w1", "a"}, {"w1", "b"}}
+	for i, w := range want {
+		if st.Rules[i].Target != w.target || st.Rules[i].Rule != w.rule {
+			t.Fatalf("rule %d = %s/%s, want %s/%s", i, st.Rules[i].Target, st.Rules[i].Rule, w.target, w.rule)
+		}
+	}
+}
+
+func TestHealthEngineNilSafe(t *testing.T) {
+	var e *HealthEngine
+	e.Eval("w0", map[string]float64{"x": 1}, 0)
+	e.Forget("w0")
+	if st := e.Status(); !st.Healthy || len(st.Rules) != 0 {
+		t.Fatalf("nil engine status = %+v", st)
+	}
+}

@@ -1,0 +1,177 @@
+// A bounded structured event log for lifecycle events: checkpoints,
+// resumes, rebalances, retries, degraded-mode entries, kernel-mix shifts,
+// and health rule transitions. Events are cheap fixed-shape structs in a
+// ring buffer — the journal never allocates per Append beyond the ring —
+// and each event can carry a trace id, linking "what happened" to "which
+// tuple saw it". Workers expose their journal at /debug/events; the
+// coordinator merges scraped journals into one session timeline with
+// MergeEvents.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one journal entry.
+type Event struct {
+	// Seq orders events from one journal; unique per journal, not global.
+	Seq uint64 `json:"seq"`
+	// UnixNs is the wall-clock stamp.
+	UnixNs int64 `json:"unix_ns"`
+	// Type is the lifecycle event kind: checkpoint, resume, rebalance,
+	// retry, reconnect, degraded, worker_dead, kernel_mix, health_fire,
+	// health_resolve, session_start, session_end, ...
+	Type string `json:"type"`
+	// Component locates the emitter (e.g. "worker/2", "coordinator").
+	Component string `json:"component"`
+	// Msg is a short human-readable detail line.
+	Msg string `json:"msg"`
+	// TraceID links the event to a sampled trace (0 = none).
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Source names the process the event was scraped from; filled by
+	// MergeEvents coordinator-side, empty locally.
+	Source string `json:"source,omitempty"`
+}
+
+// Journal is a bounded ring of events, safe for concurrent appenders.
+// The zero of *Journal (nil) is a valid no-op sink: every method is
+// nil-safe, so instrumented code needs no gating branches.
+type Journal struct {
+	appended atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []Event // guarded by mu
+	next    int     // guarded by mu
+	seq     uint64  // guarded by mu
+	dropped uint64  // guarded by mu
+}
+
+// NewJournal returns a journal retaining the most recent cap events
+// (cap <= 0 selects 512).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &Journal{ring: make([]Event, 0, capacity)}
+}
+
+// Append records one event. Nil-safe no-op.
+func (j *Journal) Append(typ, component, msg string) {
+	j.AppendTrace(typ, component, msg, 0)
+}
+
+// AppendTrace records one event linked to a trace id. Nil-safe no-op.
+func (j *Journal) AppendTrace(typ, component, msg string, traceID uint64) {
+	if j == nil {
+		return
+	}
+	j.appended.Add(1)
+	now := time.Now().UnixNano()
+	j.mu.Lock()
+	j.seq++
+	ev := Event{Seq: j.seq, UnixNs: now, Type: typ, Component: component, Msg: msg, TraceID: traceID}
+	if len(j.ring) < cap(j.ring) {
+		j.ring = append(j.ring, ev)
+	} else {
+		j.ring[j.next] = ev
+		j.next = (j.next + 1) % cap(j.ring)
+		j.dropped++
+	}
+	j.mu.Unlock()
+}
+
+// Appended returns the total number of events ever appended. Nil-safe.
+func (j *Journal) Appended() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.appended.Load()
+}
+
+// Recent returns up to n retained events, oldest first (n <= 0 returns
+// all retained). Nil-safe (empty).
+func (j *Journal) Recent(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	out := make([]Event, 0, len(j.ring))
+	// Ring order: next..end is oldest, 0..next newest.
+	for i := 0; i < len(j.ring); i++ {
+		out = append(out, j.ring[(j.next+i)%len(j.ring)])
+	}
+	j.mu.Unlock()
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// JournalSnapshot is the JSON document served at /debug/events.
+type JournalSnapshot struct {
+	// Appended counts every event ever journaled; Dropped counts those
+	// evicted from the ring, so Appended-Dropped are retained.
+	Appended uint64  `json:"appended_total"`
+	Dropped  uint64  `json:"dropped_total"`
+	Events   []Event `json:"events"`
+}
+
+// Snapshot returns the retained events with drop accounting. Nil-safe.
+func (j *Journal) Snapshot() JournalSnapshot {
+	if j == nil {
+		return JournalSnapshot{Events: []Event{}}
+	}
+	snap := JournalSnapshot{Appended: j.appended.Load(), Events: j.Recent(0)}
+	j.mu.Lock()
+	snap.Dropped = j.dropped
+	j.mu.Unlock()
+	return snap
+}
+
+// RegisterMetrics exposes the journal's volume counters on reg.
+func (j *Journal) RegisterMetrics(reg *Registry) {
+	reg.CounterFunc("journal_events_total",
+		"Lifecycle events appended to the process journal.",
+		func() float64 { return float64(j.Appended()) })
+	reg.CounterFunc("journal_events_dropped_total",
+		"Journal events evicted from the bounded ring.",
+		func() float64 {
+			if j == nil {
+				return 0
+			}
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			return float64(j.dropped)
+		})
+}
+
+// MergeEvents merges per-process journal snapshots into one timeline,
+// stamping each event's Source and ordering by wall clock (sequence
+// breaks ties from the same source). Sources map snapshot index to a
+// name; a short sources slice leaves the remainder unstamped.
+func MergeEvents(snaps []JournalSnapshot, sources []string) []Event {
+	var out []Event
+	for i, s := range snaps {
+		src := ""
+		if i < len(sources) {
+			src = sources[i]
+		}
+		for _, ev := range s.Events {
+			ev.Source = src
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].UnixNs != out[b].UnixNs {
+			return out[a].UnixNs < out[b].UnixNs
+		}
+		if out[a].Source != out[b].Source {
+			return out[a].Source < out[b].Source
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJournalRingAndDropCounting(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append("tick", "comp", strings.Repeat("x", i+1))
+	}
+	if got := j.Appended(); got != 10 {
+		t.Fatalf("Appended() = %d, want 10", got)
+	}
+	snap := j.Snapshot()
+	if snap.Appended != 10 || snap.Dropped != 6 {
+		t.Fatalf("snapshot appended=%d dropped=%d, want 10/6", snap.Appended, snap.Dropped)
+	}
+	if len(snap.Events) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(snap.Events))
+	}
+	// Oldest-first, with monotonically increasing sequence numbers for the
+	// survivors (events 7..10).
+	for i, ev := range snap.Events {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+		if len(ev.Msg) != 7+i {
+			t.Fatalf("event %d is not the expected survivor (msg %q)", i, ev.Msg)
+		}
+	}
+}
+
+func TestJournalRecentTail(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Append("e", "c", "m")
+	}
+	if got := len(j.Recent(3)); got != 3 {
+		t.Fatalf("Recent(3) returned %d events", got)
+	}
+	if got := j.Recent(3); got[0].Seq >= got[2].Seq {
+		t.Fatalf("Recent must be oldest-first, got seqs %d..%d", got[0].Seq, got[2].Seq)
+	}
+}
+
+func TestJournalTraceLinkage(t *testing.T) {
+	j := NewJournal(8)
+	j.AppendTrace("health_fire", "w0", "p99 breached", 0xabc)
+	ev := j.Recent(1)[0]
+	if ev.TraceID != 0xabc {
+		t.Fatalf("TraceID = %#x, want 0xabc", ev.TraceID)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Append("e", "c", "m") // must not panic
+	j.AppendTrace("e", "c", "m", 1)
+	if j.Appended() != 0 || len(j.Recent(5)) != 0 {
+		t.Fatal("nil journal must be empty")
+	}
+	snap := j.Snapshot()
+	if snap.Appended != 0 || len(snap.Events) != 0 {
+		t.Fatal("nil journal snapshot must be empty")
+	}
+}
+
+func TestMergeEventsTimeline(t *testing.T) {
+	a := NewJournal(8)
+	b := NewJournal(8)
+	a.Append("first", "coordinator", "m1")
+	b.Append("second", "worker/0", "m2")
+	a.Append("third", "coordinator", "m3")
+	merged := MergeEvents([]JournalSnapshot{a.Snapshot(), b.Snapshot()}, []string{"coord", "w0"})
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events, want 3", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].UnixNs < merged[i-1].UnixNs {
+			t.Fatalf("merged timeline out of order at %d", i)
+		}
+	}
+	srcs := map[string]bool{}
+	for _, ev := range merged {
+		srcs[ev.Source] = true
+	}
+	if !srcs["coord"] || !srcs["w0"] {
+		t.Fatalf("merged events missing source stamps: %v", srcs)
+	}
+}

@@ -94,7 +94,8 @@ var nameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 // Registry holds the collectors of one process (or one engine run).
 type Registry struct {
 	mu sync.Mutex
-	cs map[string]Collector // guarded by mu
+	cs map[string]Collector      // guarded by mu
+	ex map[string]*ExemplarStore // guarded by mu; histogram exemplars by family
 }
 
 // NewRegistry returns an empty registry.
@@ -174,6 +175,7 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.cs = make(map[string]Collector)
+	r.ex = nil
 }
 
 // Gather snapshots every family, sorted by name.

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -28,7 +29,14 @@ type Tracker struct {
 	// the owning worker streams (the tracker itself stays single-writer).
 	liveCurrent    atomic.Uint64
 	liveAchievable atomic.Uint64
+	// journal, when set, receives a rebalance_advice event each time
+	// ShouldRepartition trips, so drift decisions land on the session
+	// timeline next to the checkpoint and retry events they interact with.
+	journal *obs.Journal
 }
+
+// SetJournal routes the tracker's repartition advice onto j (nil detaches).
+func (t *Tracker) SetJournal(j *obs.Journal) { t.journal = j }
 
 // NewTracker creates a tracker over a sliding window of windowSize record
 // lengths (minimum 16).
@@ -123,7 +131,13 @@ func (t *Tracker) ShouldRepartition(active Partition, factor float64) bool {
 		return false
 	}
 	current, achievable := t.Evaluate(active)
-	return current > achievable*factor
+	if current <= achievable*factor {
+		return false
+	}
+	t.journal.Append("rebalance_advice", "partition",
+		fmt.Sprintf("imbalance %.3f exceeds achievable %.3f by over %.2fx; refit advised",
+			current, achievable, factor))
+	return true
 }
 
 // Refit returns a load-aware partition fitted to the current window, for k

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/wire"
 )
@@ -55,6 +56,14 @@ type Opts struct {
 	// Snapshot asks every worker to return its window state after the
 	// stream; the blobs land in RunSummary.Snapshots.
 	Snapshot bool
+	// Tracer samples distributed traces at the dispatch loop: a sampled
+	// record gets emit and wire spans in a coordinator-rooted trace and
+	// carries (trace id, wire span index) to the worker as the wire v3
+	// trace annotation. Nil (or a disabled tracer) keeps the dispatch path
+	// and the wire encoding byte-identical to an untraced run.
+	Tracer *obs.Tracer
+	// Journal receives coordinator lifecycle events; nil disables.
+	Journal *obs.Journal
 }
 
 // countingWriter tallies bytes crossing a connection. When stamp is set,
@@ -183,6 +192,8 @@ func runSession(ctx context.Context, conns []io.ReadWriter, sess Session, recs [
 		writers[i] = wire.NewWriter(cw)
 	}
 
+	opts.Journal.Append("session_start", "coordinator",
+		fmt.Sprintf("dispatching %d records to %d workers", len(recs), k))
 	start := time.Now()
 	for i, w := range writers {
 		h, err := sess.hello(i, k)
@@ -279,17 +290,36 @@ func runSession(ctx context.Context, conns []io.ReadWriter, sess Session, recs [
 	// Dispatch loop.
 	var tuples uint64
 	buf := make([]int, 0, k)
+	tracer := opts.Tracer
 	dispatchErr := func() error {
 		for _, br := range recs {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("remote: %w", err)
 			}
 			r := br.Rec
+			// Sample() is nil for untraced records (and a nil tracer), and
+			// every traced branch below keys off tr, so the untraced path
+			// does no tracing work beyond one atomic add inside Sample.
+			tr := tracer.Sample()
+			var emitIdx int
+			if tr != nil {
+				now := time.Now()
+				emitIdx = tr.Append("emit", "coordinator", 0, -1, now, now)
+			}
 			buf = strat.Route(r, k, buf[:0])
 			for _, dst := range buf {
 				store := strat.Stores(r, dst, k)
-				if err := writers[dst].WriteRecordSide(store, br.Right, r); err != nil {
-					return fmt.Errorf("remote: record to worker %d: %w", dst, err)
+				if tr == nil {
+					if err := writers[dst].WriteRecordSide(store, br.Right, r); err != nil {
+						return fmt.Errorf("remote: record to worker %d: %w", dst, err)
+					}
+				} else {
+					wstart := time.Now()
+					wireIdx := tr.Append("wire", "coordinator", dst, emitIdx, wstart, wstart)
+					err := writers[dst].WriteRecordTraced(store, br.Right, r, tr.ID(), wireIdx)
+					if err != nil {
+						return fmt.Errorf("remote: record to worker %d: %w", dst, err)
+					}
 				}
 				tuples++
 			}
@@ -337,5 +367,7 @@ func runSession(ctx context.Context, conns []io.ReadWriter, sess Session, recs [
 	for _, cw := range counters {
 		sum.BytesSent += cw.n.Load()
 	}
+	opts.Journal.Append("session_end", "coordinator",
+		fmt.Sprintf("%d records dispatched, %d results in %v", sum.Records, sum.Results, sum.Elapsed.Round(time.Millisecond)))
 	return sum, nil
 }

@@ -67,10 +67,15 @@ type FT struct {
 // charged.
 var errEpochChanged = errors.New("remote: worker log rebuilt during attempt")
 
-// ftEntry is one dispatched record in a worker's replay log.
+// ftEntry is one dispatched record in a worker's replay log. Traced
+// entries keep their wire trace annotation so a replay re-sends it — the
+// worker-side fragment then shows the retry as duplicate spans, which the
+// stitcher surfaces as DuplicateSpans instead of hiding.
 type ftEntry struct {
-	rec   *record.Record
-	store bool
+	rec        *record.Record
+	store      bool
+	traceID    uint64
+	parentSpan int
 }
 
 // ftMetrics holds the coordinator-side fault instruments. All fields are
@@ -164,6 +169,8 @@ type ftRunner struct {
 	ft         FT
 	dial       Dialer
 	met        ftMetrics
+	tracer     *obs.Tracer
+	journal    *obs.Journal
 	coll       *ftCollector
 	hbInterval time.Duration
 	hbTimeout  time.Duration
@@ -253,6 +260,8 @@ func RunFT(ctx context.Context, dial Dialer, workers int, sess Session, recs []*
 		ft:         ft,
 		dial:       dial,
 		met:        newFTMetrics(ft.Registry),
+		tracer:     opts.Tracer,
+		journal:    opts.Journal,
 		coll:       &ftCollector{collectPairs: opts.CollectPairs, seen: make(map[[2]record.ID]bool)},
 		hbInterval: ft.HeartbeatInterval,
 		hbTimeout:  ft.HeartbeatTimeout,
@@ -351,6 +360,12 @@ func (f *ftRunner) dispatch(ctx context.Context, recs []*record.Record) error {
 			f.st.mu.Unlock()
 			return err
 		}
+		tr := f.tracer.Sample()
+		var emitIdx int
+		if tr != nil {
+			now := time.Now()
+			emitIdx = tr.Append("emit", "coordinator", 0, -1, now, now)
+		}
 		buf = f.st.strat.Route(r, f.k, buf[:0])
 		for _, dst := range buf {
 			// Dead workers keep empty intervals after rebalance, but the
@@ -359,7 +374,13 @@ func (f *ftRunner) dispatch(ctx context.Context, recs []*record.Record) error {
 			if !f.st.alive[dst] {
 				continue
 			}
-			f.st.logs[dst] = append(f.st.logs[dst], ftEntry{rec: r, store: f.st.strat.Stores(r, dst, f.k)})
+			e := ftEntry{rec: r, store: f.st.strat.Stores(r, dst, f.k)}
+			if tr != nil {
+				now := time.Now()
+				e.traceID = tr.ID()
+				e.parentSpan = tr.Append("wire", "coordinator", dst, emitIdx, now, now)
+			}
+			f.st.logs[dst] = append(f.st.logs[dst], e)
 			touched = append(touched, dst)
 		}
 		f.st.mu.Unlock()
@@ -464,6 +485,8 @@ func (f *ftRunner) manage(ctx context.Context, task int) {
 		if f.met.retries != nil {
 			f.met.retries.Inc()
 		}
+		f.journal.Append("retry", "coordinator",
+			fmt.Sprintf("worker %d attempt %d failed: %v", task, failures, err))
 		if failures > f.ft.Retry.MaxAttempts {
 			f.declareDead(task, failures, err)
 			return
@@ -647,6 +670,8 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 		if !failSince.IsZero() && f.met.recovery != nil {
 			f.met.recovery.Observe(time.Since(failSince))
 		}
+		f.journal.Append("reconnect", "coordinator",
+			fmt.Sprintf("worker %d reconnected, resuming from id %d", task, ack))
 	}
 
 	// drainReader parks until the reader goroutine is done after a write
@@ -679,7 +704,7 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 
 		if pos < end {
 			for _, e := range log[pos:end] {
-				if werr := w.WriteRecordSide(e.store, false, e.rec); werr != nil {
+				if werr := w.WriteRecordTraced(e.store, false, e.rec, e.traceID, e.parentSpan); werr != nil {
 					drainReader()
 					return true, fmt.Errorf("remote: record to worker %d: %w", task, werr)
 				}
@@ -759,12 +784,16 @@ func (f *ftRunner) declareDead(task, failures int, cause error) {
 	if f.met.dead != nil {
 		f.met.dead.Add(1)
 	}
+	f.journal.Append("worker_dead", "coordinator",
+		fmt.Sprintf("worker %d declared dead after %d attempts: %v", task, failures, cause))
 	var (
-		heir     int
-		heirConn io.Closer
-		rescued  bool
+		heir        int
+		heirConn    io.Closer
+		rescued     bool
+		wasDegraded bool
 	)
 	f.st.mu.Lock()
+	wasDegraded = f.st.degraded
 	f.st.alive[task] = false
 	f.st.deadList = append(f.st.deadList, task)
 	if !f.canDegrade {
@@ -796,6 +825,12 @@ func (f *ftRunner) declareDead(task, failures int, cause error) {
 		f.kickRun()
 		return
 	}
+	if !wasDegraded {
+		f.journal.Append("degraded", "coordinator",
+			"entering degraded mode: continuing on survivors with rebalanced ranges")
+	}
+	f.journal.Append("rebalance", "coordinator",
+		fmt.Sprintf("worker %d ranges rebalanced onto heir %d, heir log rebuilt", task, heir))
 	if heirConn != nil {
 		// Interrupt the heir's in-flight attempt; its manager reconnects
 		// with the rebuilt log without charging the retry budget.
@@ -814,7 +849,9 @@ func mergeFTLogs(a, b []ftEntry) []ftEntry {
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i].rec.ID == b[j].rec.ID:
-			out = append(out, ftEntry{rec: a[i].rec, store: a[i].store || b[j].store})
+			e := a[i] // keeps a's trace annotation, if any
+			e.store = a[i].store || b[j].store
+			out = append(out, e)
 			i++
 			j++
 		case a[i].rec.ID < b[j].rec.ID:

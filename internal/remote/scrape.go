@@ -25,6 +25,11 @@ type WorkerStatus struct {
 	Addr string
 	Up   bool
 	Err  error
+	// Stale marks a row carried forward from an earlier successful scrape
+	// after the current one failed (see MergeStatuses): the numbers are
+	// real but old. LastSeen is when they were actually scraped.
+	Stale    bool
+	LastSeen time.Time
 	// QueueDepth is worker_inflight_records: records mid-processing.
 	QueueDepth float64
 	// Load is worker_load: records/second since the worker's previous
@@ -68,7 +73,7 @@ func ScrapeWorker(ctx context.Context, client *http.Client, base string) (obs.Pa
 
 // StatusFrom extracts the cluster-table row from one worker's scrape.
 func StatusFrom(addr string, pm obs.ParsedMetrics) WorkerStatus {
-	st := WorkerStatus{Addr: addr, Up: true}
+	st := WorkerStatus{Addr: addr, Up: true, LastSeen: time.Now()}
 	st.QueueDepth = pm.Value("worker_inflight_records", 0)
 	st.Load = pm.Value("worker_load", 0)
 	st.Records = pm.Value("worker_records_total", 0)
@@ -111,6 +116,85 @@ func ScrapeCluster(ctx context.Context, client *http.Client, addrs []string, tim
 	return out
 }
 
+// MergeStatuses overlays a fresh scrape round onto the previous one: rows
+// that scraped cleanly pass through, while rows whose scrape failed
+// mid-fleet fall back to their last successful reading, marked Stale and
+// keeping the fresh error. A worker that has never been scraped
+// successfully stays a plain down row. One flaky worker therefore degrades
+// one row instead of blanking it — the rest of the fleet renders normally
+// either way.
+func MergeStatuses(prev, cur []WorkerStatus) []WorkerStatus {
+	last := make(map[string]WorkerStatus, len(prev))
+	for _, st := range prev {
+		if st.Up {
+			last[st.Addr] = st
+		}
+	}
+	out := append([]WorkerStatus(nil), cur...)
+	for i, st := range out {
+		if st.Up {
+			continue
+		}
+		old, ok := last[st.Addr]
+		if !ok {
+			continue
+		}
+		old.Stale = true
+		old.Err = st.Err
+		out[i] = old
+	}
+	return out
+}
+
+// SignalsFrom converts one worker's status row into the signal map a
+// HealthEngine evaluates coordinator-side. Down rows yield only the up
+// signal, so value rules skip them instead of firing on zeros.
+func SignalsFrom(st WorkerStatus) map[string]float64 {
+	sig := map[string]float64{"up": 0}
+	if !st.Up {
+		return sig
+	}
+	sig["up"] = 1
+	sig["queue"] = st.QueueDepth
+	sig["load"] = st.Load
+	sig["p50_ms"] = st.P50Us / 1e3
+	sig["p99_ms"] = st.P99Us / 1e3
+	sig["records"] = st.Records
+	sig["results"] = st.Results
+	sig["sessions_active"] = st.SessionsActive
+	if st.Stale {
+		sig["stale"] = 1
+	}
+	return sig
+}
+
+// ClusterSignals derives fleet-wide signals from a scrape round: the down
+// count and the load imbalance ratio (max load over mean load across up
+// workers, 1 when balanced or idle).
+func ClusterSignals(sts []WorkerStatus) map[string]float64 {
+	var down, up int
+	var sum, max float64
+	for _, st := range sts {
+		if !st.Up {
+			down++
+			continue
+		}
+		up++
+		sum += st.Load
+		if st.Load > max {
+			max = st.Load
+		}
+	}
+	imb := 1.0
+	if up > 0 && sum > 0 {
+		imb = max / (sum / float64(up))
+	}
+	return map[string]float64{
+		"workers_down": float64(down),
+		"imbalance":    imb,
+	}
+}
+
 // ClusterTable renders worker statuses as an aligned table with a totals
 // row, sorted by address for stable output.
 func ClusterTable(w io.Writer, sts []WorkerStatus) error {
@@ -124,8 +208,12 @@ func ClusterTable(w io.Writer, sts []WorkerStatus) error {
 			fmt.Fprintf(tw, "%s\tdown\t-\t-\t-\t-\t-\t-\t-\n", st.Addr)
 			continue
 		}
-		fmt.Fprintf(tw, "%s\tup\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
-			st.Addr, st.QueueDepth, st.Load, st.Records, st.Results,
+		state := "up"
+		if st.Stale {
+			state = "stale"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			st.Addr, state, st.QueueDepth, st.Load, st.Records, st.Results,
 			st.SessionsActive, st.P50Us, st.P99Us)
 		tot.QueueDepth += st.QueueDepth
 		tot.Load += st.Load

@@ -1,0 +1,192 @@
+// Distributed-trace collection. Workers expose their span fragments at
+// /debug/traces (obs.Fragments); the coordinator owns the root traces
+// (its dispatch loop sampled them) and stitches scraped fragments under
+// them with an obs.Stitcher. Collection rides the same HTTP scrape path
+// as /metrics — no extra wire frames, and a worker that cannot be
+// scraped simply contributes no spans this round (the stitcher keeps
+// whatever an earlier round delivered).
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// scrapeJSON fetches base+path and decodes the JSON body into out.
+func scrapeJSON(ctx context.Context, client *http.Client, base, path string, out interface{}) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: scraping %s: HTTP %d", req.URL, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ScrapeTraces fetches base's /debug/traces document (local traces plus
+// fragment spans recorded against remote trace ids).
+func ScrapeTraces(ctx context.Context, client *http.Client, base string) (obs.TraceDoc, error) {
+	var doc obs.TraceDoc
+	err := scrapeJSON(ctx, client, base, "/debug/traces", &doc)
+	return doc, err
+}
+
+// ScrapeEvents fetches base's /debug/events journal snapshot.
+func ScrapeEvents(ctx context.Context, client *http.Client, base string) (obs.JournalSnapshot, error) {
+	var snap obs.JournalSnapshot
+	err := scrapeJSON(ctx, client, base, "/debug/events", &snap)
+	return snap, err
+}
+
+// CollectTraces runs one stitching round: it refreshes the stitcher's
+// roots from the coordinator-side tracer, scrapes every worker address
+// concurrently, and feeds each worker's fragments in under its address as
+// the source label. Re-running is idempotent per (trace, source) — a
+// fragment that grew since the last round replaces its older copy. It
+// returns the scrape errors keyed by address (empty map = clean round).
+func CollectTraces(ctx context.Context, client *http.Client, st *obs.Stitcher, tracer *obs.Tracer, addrs []string, timeout time.Duration) map[string]error {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	for _, root := range tracer.Recent() {
+		st.AddRoot(root)
+	}
+	type scraped struct {
+		addr string
+		doc  obs.TraceDoc
+		err  error
+	}
+	res := make([]scraped, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			doc, err := ScrapeTraces(sctx, client, addr)
+			res[i] = scraped{addr: addr, doc: doc, err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	errs := make(map[string]error)
+	for _, r := range res {
+		if r.err != nil {
+			errs[r.addr] = r.err
+			continue
+		}
+		for _, frag := range r.doc.Fragments {
+			st.AddFragment(r.addr, frag)
+		}
+	}
+	return errs
+}
+
+// CollectEvents scrapes every address's journal and merges the rounds
+// with local into one source-stamped timeline. Unreachable workers are
+// skipped (their events arrive on a later round; journals are append-only
+// up to their ring bound).
+func CollectEvents(ctx context.Context, client *http.Client, local obs.JournalSnapshot, addrs []string, timeout time.Duration) []obs.Event {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	snaps := make([]obs.JournalSnapshot, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			snaps[i], _ = ScrapeEvents(sctx, client, addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	all := append([]obs.JournalSnapshot{local}, snaps...)
+	sources := append([]string{"coordinator"}, addrs...)
+	return obs.MergeEvents(all, sources)
+}
+
+// RenderTraceTree writes one stitched trace as an indented span tree:
+// children under parents, each line showing stage, origin/component/task,
+// start offset from the trace root, and duration. Orphan spans (parent
+// clamped to -1 by the stitcher) render at the top level.
+func RenderTraceTree(w io.Writer, tr obs.StitchedTrace) error {
+	if _, err := fmt.Fprintf(w, "trace %016x  start %s  spans %d  sources %s",
+		tr.ID, time.Unix(0, tr.StartUnixNs).Format(time.RFC3339Nano),
+		len(tr.Spans), strings.Join(tr.Origins, ",")); err != nil {
+		return err
+	}
+	if tr.DuplicateSpans > 0 {
+		fmt.Fprintf(w, "  duplicates %d", tr.DuplicateSpans)
+	}
+	fmt.Fprintln(w)
+	children := make(map[int][]int)
+	for i, sp := range tr.Spans {
+		p := sp.Parent
+		if p < -1 || p >= len(tr.Spans) || p == i {
+			p = -1
+		}
+		children[p] = append(children[p], i)
+	}
+	for _, idxs := range children {
+		sort.Slice(idxs, func(a, b int) bool {
+			sa, sb := tr.Spans[idxs[a]], tr.Spans[idxs[b]]
+			if sa.StartUs != sb.StartUs {
+				return sa.StartUs < sb.StartUs
+			}
+			return idxs[a] < idxs[b]
+		})
+	}
+	var render func(idx, depth int) error
+	seen := make(map[int]bool)
+	render = func(idx, depth int) error {
+		if seen[idx] {
+			return nil
+		}
+		seen[idx] = true
+		sp := tr.Spans[idx]
+		origin := sp.Origin
+		if origin == "" {
+			origin = "local"
+		}
+		if _, err := fmt.Fprintf(w, "  %s%-8s %s %s/%d  @%.1fus  %.1fus\n",
+			strings.Repeat("  ", depth), sp.Stage, origin, sp.Component, sp.Task,
+			sp.StartUs, sp.DurationUs); err != nil {
+			return err
+		}
+		for _, c := range children[idx] {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, rootIdx := range children[-1] {
+		if err := render(rootIdx, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

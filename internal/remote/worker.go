@@ -13,8 +13,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bundle"
 	"repro/internal/checkpoint"
 	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/similarity"
 	"repro/internal/wire"
@@ -50,6 +52,13 @@ type WorkerOpts struct {
 	// choice cannot change a session's results — a fleet may freely mix
 	// kernel settings per machine.
 	Kernel similarity.KernelConfig
+	// Frags receives span fragments for traced records (wire v3 trace
+	// annotation); nil disables worker-side span recording entirely —
+	// untraced records never touch it either way.
+	Frags *obs.Fragments
+	// Journal receives worker lifecycle events (session start/end,
+	// checkpoint, resume, duplicate summaries, kernel mix); nil disables.
+	Journal *obs.Journal
 }
 
 func (o WorkerOpts) logf(format string, args ...interface{}) {
@@ -197,6 +206,9 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 	if h.FT && sess.Bi {
 		return errors.New("remote: fault-tolerant bi sessions unsupported")
 	}
+	comp := fmt.Sprintf("worker/%d", h.Task)
+	o.Journal.Append("session_start", comp,
+		fmt.Sprintf("session %016x task %d/%d ft=%v resume=%v", h.SessionID, h.Task, h.Workers, h.FT, h.Resume))
 	opts := local.Options{
 		Params:      sess.Params,
 		Window:      sess.Window,
@@ -251,6 +263,8 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 					if mon != nil {
 						mon.SessionsResumed.Add(1)
 					}
+					o.Journal.Append("resume", comp,
+						fmt.Sprintf("session %016x restored %d records from checkpoint, next id %d", h.SessionID, n, next))
 					o.logf("remote worker: resumed session %016x task %d from checkpoint (%d records, next id %d)",
 						h.SessionID, h.Task, n, next)
 				}
@@ -268,6 +282,11 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 
 	task, workers := h.Task, h.Workers
 	var writeErr error
+	// emitted counts results written this session; the record loop diffs it
+	// around a traced Step to decide whether a "deliver" span exists. Step
+	// merges parallel-verifier results on the calling goroutine, so the
+	// counter needs no synchronization.
+	var emitted uint64
 	emit := func(r *record.Record) func(local.Match) {
 		return func(m local.Match) {
 			if writeErr != nil {
@@ -283,6 +302,7 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 			if mon != nil {
 				mon.ResultsEmitted.Add(1)
 			}
+			emitted++
 			writeErr = wr.WriteResult(wire.Result{A: a, B: b, Sim: m.Sim})
 		}
 	}
@@ -327,11 +347,15 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 		}
 		if mon != nil {
 			mon.CheckpointsWritten.Add(1)
+			mon.MarkCheckpoint()
 		}
+		o.Journal.Append("checkpoint", comp,
+			fmt.Sprintf("session %016x checkpointed, cursor next_id=%d", h.SessionID, cur.NextID))
 	}
 
 	lastCkpt := time.Now()
 	first := true
+	var dups uint64
 	loop := func() error {
 		for {
 			if err := ctx.Err(); err != nil {
@@ -374,22 +398,47 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 					if mon != nil {
 						mon.DuplicateRecords.Add(1)
 					}
+					dups++
 					continue
 				}
+				// The wire trace annotation decodes to a zero TraceID on
+				// untraced records, so this branch costs one comparison on
+				// the untraced hot path.
+				traced := rt.TraceID != 0 && o.Frags != nil
 				var rstart time.Time
+				if mon != nil || traced {
+					rstart = time.Now()
+				}
 				if mon != nil {
 					mon.RecordsSeen.Add(1)
 					mon.InFlightRecords.Add(1)
-					rstart = time.Now()
 				}
+				eBefore := emitted
 				if bi != nil {
 					bi.StepSide(rt.Rec, rt.Right, rt.Store, emit(rt.Rec))
 				} else {
 					joiner.Step(rt.Rec, rt.Store, emit(rt.Rec))
 				}
-				if mon != nil {
-					mon.RecordLatency.Observe(time.Since(rstart))
-					mon.InFlightRecords.Add(-1)
+				if mon != nil || traced {
+					stepEnd := time.Now()
+					if mon != nil {
+						mon.RecordLatency.Observe(stepEnd.Sub(rstart))
+						mon.InFlightRecords.Add(-1)
+					}
+					if traced {
+						// Mirror the in-process chain: queue (frame decoded,
+						// attaches at the wire parent) -> process (the join
+						// step) -> deliver (results written), so a stitched
+						// trace reads the same across deployment modes.
+						qi := o.Frags.Append(rt.TraceID, rt.ParentSpan, "queue", comp, h.Task, -1, rstart, rstart)
+						pi := o.Frags.Append(rt.TraceID, rt.ParentSpan, "process", comp, h.Task, qi, rstart, stepEnd)
+						if emitted > eBefore {
+							o.Frags.Append(rt.TraceID, rt.ParentSpan, "deliver", comp, h.Task, pi, stepEnd, time.Now())
+						}
+						if mon != nil {
+							mon.ObserveTraced(stepEnd.Sub(rstart), rt.TraceID)
+						}
+					}
 				}
 				if writeErr != nil {
 					return fmt.Errorf("remote: writing result: %w", writeErr)
@@ -427,6 +476,26 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 		} else {
 			os.Remove(ckptPath)
 		}
+	}
+	if o.Journal != nil {
+		if dups > 0 {
+			o.Journal.Append("duplicates", comp,
+				fmt.Sprintf("session %016x dropped %d duplicate records via the replay filter", h.SessionID, dups))
+		}
+		if bs, ok := joiner.(interface{ BundleStats() bundle.Stats }); ok && joiner != nil {
+			st := bs.BundleStats()
+			if st.KernelLinear+st.KernelGallop+st.KernelBitset > 0 {
+				o.Journal.Append("kernel_mix", comp,
+					fmt.Sprintf("session %016x verify kernels: linear=%d gallop=%d bitset=%d",
+						h.SessionID, st.KernelLinear, st.KernelGallop, st.KernelBitset))
+			}
+		}
+		status := "clean"
+		if err != nil {
+			status = "error: " + err.Error()
+		}
+		o.Journal.Append("session_end", comp,
+			fmt.Sprintf("session %016x ended (%s), %d results", h.SessionID, status, emitted))
 	}
 	return err
 }

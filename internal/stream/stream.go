@@ -175,6 +175,7 @@ type Topology struct {
 	order     []string
 	err       error
 	reg       *obs.Registry
+	journal   *obs.Journal
 }
 
 // Option tunes a Topology at construction time.

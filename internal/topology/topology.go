@@ -132,6 +132,9 @@ type Config struct {
 	// Tracer, when set and enabled, samples tuple lineages end to end
 	// (emit → dispatch → queue → process/verify → deliver).
 	Tracer *obs.Tracer
+	// Journal, when set, receives run lifecycle events from the stream
+	// engine (run_start/run_end). Nil keeps the run silent.
+	Journal *obs.Journal
 	// Checkpoint captures every worker's window state at stream end into
 	// Result.Checkpoints, one serialized checkpoint per task. Self-join
 	// runs only.
@@ -416,22 +419,22 @@ func (w *workerBolt) registerJoinerMetrics(reg *obs.Registry, task int) {
 	label := fmt.Sprintf("worker/%d", task)
 	reg.CounterVec("bundle_records_total",
 		"Records processed by a worker's bundle index.", "task").
-		SetFunc(label, func() float64 { return float64(ls.Records.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.Records.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("bundle_candidates_total",
 		"Candidate members examined by a worker's bundle index.", "task").
-		SetFunc(label, func() float64 { return float64(ls.Candidates.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.Candidates.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("bundle_verified_total",
 		"Candidates fully verified by a worker's bundle index.", "task").
-		SetFunc(label, func() float64 { return float64(ls.Verified.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.Verified.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("bundle_results_total",
 		"Matches emitted by a worker's bundle index.", "task").
-		SetFunc(label, func() float64 { return float64(ls.Results.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.Results.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.GaugeVec("bundle_live_members",
 		"Records currently indexed by a worker's bundle index.", "task").
-		SetFunc(label, func() float64 { return float64(ls.Members.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.Members.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.GaugeVec("bundle_verify_hit_rate",
 		"Fraction of verified candidates that produced a result.", "task").
-		SetFunc(label, func() float64 {
+		SetFunc(label, func() float64 { // obscheck: bounded — one series per worker task, capped by worker count
 			v := ls.Verified.Load()
 			if v == 0 {
 				return 0
@@ -440,16 +443,16 @@ func (w *workerBolt) registerJoinerMetrics(reg *obs.Registry, task int) {
 		})
 	reg.CounterVec("verify_kernel_linear_total",
 		"Verification merges run by the linear intersection kernel.", "task").
-		SetFunc(label, func() float64 { return float64(ls.KernelLinear.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.KernelLinear.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("verify_kernel_gallop_total",
 		"Verification merges run by the galloping intersection kernel.", "task").
-		SetFunc(label, func() float64 { return float64(ls.KernelGallop.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.KernelGallop.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("verify_kernel_bitset_total",
 		"Verification merges run by the word-packed bitset kernel.", "task").
-		SetFunc(label, func() float64 { return float64(ls.KernelBitset.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.KernelBitset.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("verify_candidates_pruned_total",
 		"Candidates discarded by upper-bound checks before any kernel ran.", "task").
-		SetFunc(label, func() float64 { return float64(ls.Pruned.Load()) })
+		SetFunc(label, func() float64 { return float64(ls.Pruned.Load()) }) // obscheck: bounded — one series per worker task, capped by worker count
 }
 
 // registerPoolMetrics publishes the worker's verifier-pool counters to
@@ -471,24 +474,24 @@ func (w *workerBolt) registerPoolMetrics(reg *obs.Registry, task int) {
 	label := fmt.Sprintf("worker/%d", task)
 	reg.GaugeVec("verify_pool_size",
 		"Verifier pool parallelism of a worker task (helpers + caller).", "task").
-		SetFunc(label, func() float64 { return float64(pool.Size()) })
+		SetFunc(label, func() float64 { return float64(pool.Size()) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("verify_pool_parallel_rounds_total",
 		"Probes whose candidate verification was fanned across the pool.", "task").
-		SetFunc(label, func() float64 { return float64(pool.Snapshot().RoundsParallel) })
+		SetFunc(label, func() float64 { return float64(pool.Snapshot().RoundsParallel) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("verify_pool_serial_rounds_total",
 		"Probes kept on the calling goroutine (below the fanout cutoff).", "task").
-		SetFunc(label, func() float64 { return float64(pool.Snapshot().RoundsSerial) })
+		SetFunc(label, func() float64 { return float64(pool.Snapshot().RoundsSerial) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("verify_pool_fanned_candidates_total",
 		"Candidate bundles verified in fanned rounds.", "task").
-		SetFunc(label, func() float64 { return float64(pool.Snapshot().Fanned) })
+		SetFunc(label, func() float64 { return float64(pool.Snapshot().Fanned) }) // obscheck: bounded — one series per worker task, capped by worker count
 	reg.CounterVec("verify_pool_idle_stints_total",
 		"Helper wakeups that found the candidate cursor already drained.", "task").
-		SetFunc(label, func() float64 { return float64(pool.Snapshot().IdleStints) })
+		SetFunc(label, func() float64 { return float64(pool.Snapshot().IdleStints) }) // obscheck: bounded — one series per worker task, capped by worker count
 	verified := reg.CounterVec("verify_pool_ctx_verified_total",
 		"Candidate bundles verified by one verifier context of a worker's pool.", "ctx")
 	for i := 0; i < pool.Size(); i++ {
 		i := i
-		verified.SetFunc(fmt.Sprintf("%s/ctx/%d", label, i),
+		verified.SetFunc(fmt.Sprintf("%s/ctx/%d", label, i), // obscheck: bounded — one series per verifier context, capped by pool size
 			func() float64 { return float64(pool.CtxVerified(i)) })
 	}
 }
@@ -573,6 +576,9 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 	if cfg.Registry != nil {
 		streamOpts = append(streamOpts, stream.WithRegistry(cfg.Registry))
 	}
+	if cfg.Journal != nil {
+		streamOpts = append(streamOpts, stream.WithJournal(cfg.Journal))
+	}
 	tp := stream.New("ssjoin-"+cfg.Strategy.Name(), queueCap, streamOpts...)
 	tp.AddSpout("source", spoutF, 1)
 	traced := cfg.Tracer.Enabled()
@@ -656,7 +662,7 @@ func run(cfg Config, nrecs uint64, spoutF func(int) stream.Spout, bi bool, cur c
 			w.slat = &metrics.SyncLatency{}
 			cfg.Registry.HistogramVec("worker_record_seconds",
 				"Per-record latency observed at a worker: source enqueue to probe completion.", "task").
-				SetFunc(fmt.Sprintf("worker/%d", task), w.slat.Snapshot)
+				SetFunc(fmt.Sprintf("worker/%d", task), w.slat.Snapshot) // obscheck: bounded — one series per worker task, capped by worker count
 			w.registerJoinerMetrics(cfg.Registry, task)
 			w.registerPoolMetrics(cfg.Registry, task)
 		}

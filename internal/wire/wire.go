@@ -65,8 +65,11 @@ const (
 // Version is the protocol version carried in Hello; mismatches are
 // rejected at handshake. Version 2 added the fault-tolerance handshake:
 // Hello carries a session ID plus FT/Resume flags, and the Ping, Pong and
-// ResumeAck frame types exist.
-const Version = 2
+// ResumeAck frame types exist. Version 3 added the optional trace-context
+// annotation on Record frames (flags bit 4: trace id + parent span index
+// appended after the token list); untraced records encode byte-identically
+// to version 2, so the annotation costs nothing off the sampled path.
+const Version = 3
 
 // MaxFrame bounds a frame payload; larger frames indicate corruption.
 const MaxFrame = 1 << 24
@@ -109,11 +112,16 @@ type Hello struct {
 }
 
 // Record is a routed record copy with its storage role and, for
-// two-stream sessions, its side.
+// two-stream sessions, its side. TraceID and ParentSpan carry the
+// distributed-tracing context of a sampled tuple (TraceID 0 = untraced):
+// the worker records its span fragments under TraceID, parented at span
+// index ParentSpan of the coordinator's root trace.
 type Record struct {
-	Store bool
-	Right bool
-	Rec   *record.Record
+	Store      bool
+	Right      bool
+	TraceID    uint64
+	ParentSpan int
+	Rec        *record.Record
 }
 
 // Result is one verified pair.
@@ -215,12 +223,23 @@ func (w *Writer) WriteRecord(store bool, r *record.Record) error {
 
 // WriteRecordSide is WriteRecord with the two-stream side flag.
 func (w *Writer) WriteRecordSide(store, right bool, r *record.Record) error {
+	return w.WriteRecordTraced(store, right, r, 0, 0)
+}
+
+// WriteRecordTraced is WriteRecordSide carrying a trace context. A zero
+// traceID writes the exact untraced v2 encoding — the annotation (flags
+// bit 4 plus two trailing varints) exists on the wire only for sampled
+// tuples, keeping the unsampled path byte-identical and branch-cheap.
+func (w *Writer) WriteRecordTraced(store, right bool, r *record.Record, traceID uint64, parentSpan int) error {
 	var flags byte
 	if store {
 		flags |= 1
 	}
 	if right {
 		flags |= 2
+	}
+	if traceID != 0 {
+		flags |= 4
 	}
 	w.buf = append(w.buf, flags)
 	w.putUvarint(uint64(r.ID))
@@ -230,6 +249,10 @@ func (w *Writer) WriteRecordSide(store, right bool, r *record.Record) error {
 	for _, t := range r.Tokens {
 		w.putUvarint(uint64(t) - prev)
 		prev = uint64(t)
+	}
+	if traceID != 0 {
+		w.putUvarint(traceID)
+		w.putVarint(int64(parentSpan))
 	}
 	return w.flushFrame(TypeRecord)
 }
@@ -502,11 +525,22 @@ func (r *Reader) ReadRecord() (Record, error) {
 		}
 		toks[i] = tokens.Rank(prev)
 	}
-	return Record{
+	rec := Record{
 		Store: st&1 != 0,
 		Right: st&2 != 0,
 		Rec:   &record.Record{ID: record.ID(id), Time: t, Tokens: toks},
-	}, nil
+	}
+	if st&4 != 0 {
+		if rec.TraceID, err = p.uvarint(); err != nil {
+			return Record{}, err
+		}
+		ps, err := p.varint()
+		if err != nil {
+			return Record{}, err
+		}
+		rec.ParentSpan = int(ps)
+	}
+	return rec, nil
 }
 
 // ReadResult decodes a staged Result frame.
