@@ -15,23 +15,27 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bundle"
+	"repro/internal/checkpoint"
 	"repro/internal/filter"
 	"repro/internal/local"
 	"repro/internal/partition"
 	"repro/internal/record"
 	"repro/internal/remote"
 	"repro/internal/similarity"
+	"repro/internal/wal"
 	"repro/internal/window"
 	"repro/internal/workload"
 
@@ -74,6 +78,11 @@ func main() {
 		hbTimeout = flag.Duration("hb-timeout", 0, "FT: silence span declaring a connection hung (0: 5x interval)")
 		degraded  = flag.Bool("degraded", false, "FT: on a worker death, rebalance its length ranges onto survivors instead of failing (length distribution only)")
 		sessionID = flag.Uint64("session-id", 0, "FT: checkpoint key for resume across coordinator restarts (0: derived from the workload seed)")
+
+		stateDir   = flag.String("state-dir", "", "durable session state directory (manifest + ingest/results logs) making the run resumable with -resume after a coordinator crash; implies -ft, requires -remote")
+		resume     = flag.Bool("resume", false, "relaunch a killed durable run from -state-dir: session configuration, input stream, and completed results all come from the state directory (-in/-profile are ignored)")
+		walFsync   = flag.String("wal-fsync", "interval", "with -state-dir: WAL fsync policy: always, interval, never (acknowledged results are synced before each ack regardless)")
+		walSegment = flag.Int64("wal-segment", 0, "with -state-dir: WAL segment rotation threshold in bytes (0: library default)")
 	)
 	flag.Parse()
 
@@ -84,14 +93,16 @@ func main() {
 		return
 	}
 
-	recs, err := loadRecords(*in, *profile, *n, *seed)
-	if err != nil {
-		fatal(err)
+	if *resume && *stateDir == "" {
+		fatal(errors.New("-resume requires -state-dir"))
+	}
+	if *stateDir != "" && *rmt == "" && !*resume {
+		fatal(errors.New("-state-dir requires -remote"))
 	}
 
-	if *rmt != "" {
+	if *rmt != "" || *resume {
 		var ftCfg *remote.FT
-		if *ft {
+		if *ft || *stateDir != "" {
 			id := *sessionID
 			if id == 0 {
 				id = uint64(*seed)*0x9e3779b97f4a7c15 + uint64(*n)
@@ -121,10 +132,37 @@ func main() {
 		if *scrape != "" {
 			oc.scrape = strings.Split(*scrape, ",")
 		}
+		if *resume {
+			if err := runResume(*stateDir, *rmt, *pairs, ftCfg, oc, *walFsync, *walSegment); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		recs, err := loadRecords(*in, *profile, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *stateDir != "" {
+			pol, err := wal.ParseSyncPolicy(*walFsync)
+			if err != nil {
+				fatal(err)
+			}
+			ftCfg.Durable = &remote.Durable{
+				StateDir:     *stateDir,
+				Sync:         pol,
+				SegmentBytes: *walSegment,
+				Workers:      strings.Split(*rmt, ","),
+			}
+		}
 		if err := runRemote(*rmt, recs, *tau, *fn, *alg, *dist, *win, *pairs, ftCfg, oc); err != nil {
 			fatal(err)
 		}
 		return
+	}
+
+	recs, err := loadRecords(*in, *profile, *n, *seed)
+	if err != nil {
+		fatal(err)
 	}
 	sets := make([][]uint32, len(recs))
 	for i, r := range recs {
@@ -254,10 +292,7 @@ func parsePart(s string) (ssjoin.Partitioner, error) {
 // observability surface (tracing, event journal, coordinator debug
 // endpoints); the zero value turns all of it off.
 func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dist string, win int64, pairs bool, ftCfg *remote.FT, oc obsConfig) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	addrs := strings.Split(addrList, ",")
-	co := newCoordObs(oc)
 
 	f, err := similarity.ParseFunc(fn)
 	if err != nil {
@@ -285,8 +320,64 @@ func runRemote(addrList string, recs []*record.Record, tau float64, fn, alg, dis
 		w := partition.CostModel{Params: params}.Weights(&h)
 		sess.Bounds = partition.LoadAware(w, len(addrs)).Bounds
 	}
+	return execRemote(addrs, sess, recs, pairs, ftCfg, oc)
+}
+
+// runResume relaunches a durable session purely from its state directory:
+// the manifest supplies the configuration, identity, and worker fleet,
+// the ingest log supplies the record stream, and the results log seeds
+// the coordinator's dedup so completed work is not re-reported. addrList,
+// when non-empty, overrides the manifest's worker addresses (a moved
+// fleet).
+func runResume(stateDir, addrList string, pairs bool, ftCfg *remote.FT, oc obsConfig, fsync string, segBytes int64) error {
+	m, err := checkpoint.LoadManifest(filepath.Join(stateDir, checkpoint.ManifestPath))
+	if err != nil {
+		return err
+	}
+	sess, err := remote.SessionFromHello(m.Hello)
+	if err != nil {
+		return err
+	}
+	recs, err := remote.ReadIngestLog(stateDir)
+	if err != nil {
+		return err
+	}
+	addrs := m.Workers
+	if addrList != "" {
+		addrs = strings.Split(addrList, ",")
+	}
+	if len(addrs) == 0 {
+		return errors.New("resume: manifest lists no workers; pass -remote")
+	}
+	pol, err := wal.ParseSyncPolicy(fsync)
+	if err != nil {
+		return err
+	}
+	ftCfg.SessionID = m.SessionID
+	ftCfg.Retry.Seed = m.SessionID
+	ftCfg.Durable = &remote.Durable{
+		StateDir:     stateDir,
+		Sync:         pol,
+		SegmentBytes: segBytes,
+		Resume:       true,
+		Workers:      addrs,
+	}
+	// Trace ids must stay unique across incarnations of one session.
+	oc.idBase = m.SessionID << 20
+	fmt.Fprintf(os.Stderr, "remote: resuming session %016x: %d records in ingest log, %d workers\n",
+		m.SessionID, len(recs), len(addrs))
+	return execRemote(addrs, sess, recs, pairs, ftCfg, oc)
+}
+
+// execRemote is the shared tail of runRemote and runResume: dial, run,
+// report.
+func execRemote(addrs []string, sess remote.Session, recs []*record.Record, pairs bool, ftCfg *remote.FT, oc obsConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	co := newCoordObs(oc)
 
 	opts := remote.Opts{CollectPairs: pairs, Tracer: co.tracer, Journal: co.journal}
+	var err error
 	var sum *remote.RunSummary
 	if ftCfg != nil {
 		dialer := func(ctx context.Context, task int) (io.ReadWriteCloser, error) {

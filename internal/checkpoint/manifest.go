@@ -1,0 +1,104 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wire"
+)
+
+// ManifestSchema is the current manifest format version.
+const ManifestSchema = 1
+
+// TaskCursor is the coordinator's last persisted replay position for one
+// worker task: how many entries of that task's dispatch log had been sent
+// when the manifest was written. Advisory only — on resume the worker's
+// live ResumeAck cursor is authoritative; this value just bounds how much
+// progress a crash can appear to lose in status output.
+type TaskCursor struct {
+	Task    int    `json:"task"`
+	SentPos uint64 `json:"sent_pos"`
+}
+
+// Manifest is the coordinator's session checkpoint: everything a fresh
+// coordinator process needs to re-run the session — the full launch
+// configuration (as the wire Hello it would send, minus per-task fields),
+// the worker fleet, and the WAL positions. It deliberately stores the
+// *launch* partition plan even for sessions that later degraded: plan
+// hash must stay stable so surviving workers accept the resume, and the
+// degraded bounds are carried separately.
+type Manifest struct {
+	Schema    int    `json:"schema"`
+	SessionID uint64 `json:"session_id"`
+	PlanHash  uint64 `json:"plan_hash"`
+	// Hello carries the session configuration (Task/Workers fields are
+	// meaningless here and left zero).
+	Hello   wire.Hello `json:"hello"`
+	Workers []string   `json:"workers"`
+	// Bounds is the *current* length partition (differs from Hello.Bounds
+	// after a degraded-mode rebalance).
+	Bounds      []int        `json:"bounds,omitempty"`
+	IngestNext  uint64       `json:"ingest_next"`  // ingest WAL: next record index
+	ResultsNext uint64       `json:"results_next"` // results WAL: next entry index
+	Cursors     []TaskCursor `json:"cursors,omitempty"`
+}
+
+// ManifestPath is the manifest file name inside a session state
+// directory.
+const ManifestPath = "manifest.json"
+
+// SaveManifest writes m atomically (temp file + rename + directory-entry
+// durability via fsync) so a crash mid-write never leaves a torn
+// manifest.
+func SaveManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding manifest: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: installing manifest: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadManifest reads and validates a manifest written by SaveManifest.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("checkpoint: manifest schema %d, want %d", m.Schema, ManifestSchema)
+	}
+	if m.SessionID == 0 {
+		return nil, fmt.Errorf("checkpoint: manifest %s has no session id", path)
+	}
+	return &m, nil
+}

@@ -113,6 +113,8 @@ slow_tail: p99_ms > 1000 for 3
 overload: load > 5000000 for 3
 imbalance: imbalance > 3 for 3
 checkpoint_stall: checkpoint_lag_s > 60 for 2
+shedding: paused > 0 for 2
+result_backlog: unacked > 100000 for 3
 `)
 	if err != nil {
 		panic("obs: default health rules failed to parse: " + err.Error())

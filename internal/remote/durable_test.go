@@ -1,0 +1,453 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/faultwire"
+	"repro/internal/local"
+	"repro/internal/obs"
+	"repro/internal/record"
+	"repro/internal/window"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// TestRunFTDurableRoundTrip is the differential gate for durable session
+// state: a clean durable run must (a) match the fault-free baseline, (b)
+// leave an ingest log that replays the input stream record for record,
+// (c) leave a results log holding exactly the distinct result set, and
+// (d) leave a manifest whose hello round-trips back to the launch session.
+func TestRunFTDurableRoundTrip(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(59)).Generate(600)
+	const tau = 0.7
+	k := 3
+	sess := testSession(tau, "length", boundsFor(recs, tau, k))
+	want := chaosBaseline(t, k, sess, recs)
+
+	workers := make([]*ftWorker, k)
+	addrs := make([]string, k)
+	for i := range workers {
+		workers[i] = startFTWorker(t, t.TempDir(), 2*time.Millisecond)
+		addrs[i] = workers[i].addr
+	}
+	state := t.TempDir()
+	ft := fastFT(0xD0B1E)
+	ft.Durable = &Durable{StateDir: state, Workers: addrs}
+	sum, err := RunFT(context.Background(), tcpDialer(func(task int) string { return addrs[task] }),
+		k, sess, recs, Opts{CollectPairs: true}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireParity(t, sum.Pairs, want, "durable")
+
+	// Ingest log vs live input: same length, same records, same order.
+	logRecs, err := ReadIngestLog(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logRecs) != len(recs) {
+		t.Fatalf("ingest log holds %d records, input had %d", len(logRecs), len(recs))
+	}
+	for i, r := range logRecs {
+		in := recs[i]
+		if r.ID != in.ID || r.Time != in.Time || len(r.Tokens) != len(in.Tokens) {
+			t.Fatalf("ingest log record %d = %v, input %v", i, r, in)
+		}
+		for j, tok := range r.Tokens {
+			if tok != in.Tokens[j] {
+				t.Fatalf("ingest log record %d token %d = %v, input %v", i, j, tok, in.Tokens[j])
+			}
+		}
+	}
+
+	// Results log vs live result set: exactly the distinct pairs, no dups.
+	logRes, err := ReadResultsLog(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logRes) != len(want) {
+		t.Errorf("results log holds %d entries, want %d distinct results", len(logRes), len(want))
+	}
+	seen := make(map[record.Pair]bool, len(logRes))
+	for _, res := range logRes {
+		p := record.Pair{First: res.A, Second: res.B}
+		if seen[p] {
+			t.Errorf("results log holds duplicate pair %v", p)
+		}
+		seen[p] = true
+		if !want[p] {
+			t.Errorf("results log holds pair %v absent from the baseline", p)
+		}
+	}
+
+	// Manifest: identity, plan hash, cursors, and a hello that round-trips.
+	m, err := checkpoint.LoadManifest(filepath.Join(state, checkpoint.ManifestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SessionID != ft.SessionID {
+		t.Errorf("manifest session id %016x, want %016x", m.SessionID, ft.SessionID)
+	}
+	if m.PlanHash != sess.PlanHash(k) {
+		t.Errorf("manifest plan hash %016x, want %016x", m.PlanHash, sess.PlanHash(k))
+	}
+	if m.IngestNext != uint64(len(recs)) {
+		t.Errorf("manifest ingest cursor %d, want %d", m.IngestNext, len(recs))
+	}
+	if m.ResultsNext != uint64(len(want)) {
+		t.Errorf("manifest results cursor %d, want %d", m.ResultsNext, len(want))
+	}
+	if len(m.Workers) != k {
+		t.Fatalf("manifest workers %v, want %d addresses", m.Workers, k)
+	}
+	for i, a := range m.Workers {
+		if a != addrs[i] {
+			t.Errorf("manifest worker %d = %q, want %q", i, a, addrs[i])
+		}
+	}
+	sess2, err := SessionFromHello(m.Hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess2.Strategy != sess.Strategy || sess2.Params.Threshold != sess.Params.Threshold {
+		t.Errorf("manifest hello decodes to %+v, want %+v", sess2, sess)
+	}
+	if sess2.PlanHash(k) != m.PlanHash {
+		t.Errorf("round-tripped session plan hash %016x, manifest %016x", sess2.PlanHash(k), m.PlanHash)
+	}
+}
+
+// TestRunFTCoordinatorKillResume is the coordinator-crash acceptance gate:
+// a durable run is killed mid-flight (context cancel standing in for
+// kill -9 — the CI chaos job does the real thing), a fresh "process"
+// reconstructs the session purely from the state directory (manifest +
+// ingest log), and the resumed run over the same workers must produce
+// exactly the fault-free result set of the persisted input. The resume
+// leg additionally carries duplicated frames so the per-connection credit
+// dedup is exercised while workers drain restored unacked buffers.
+func TestRunFTCoordinatorKillResume(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(71)).Generate(1500)
+	const tau = 0.7
+	k := 3
+	sess := testSession(tau, "length", boundsFor(recs, tau, k))
+	sess.Window = window.Count{N: 128}
+
+	workers := make([]*ftWorker, k)
+	addrs := make([]string, k)
+	for i := range workers {
+		workers[i] = startFTWorker(t, t.TempDir(), 2*time.Millisecond)
+		addrs[i] = workers[i].addr
+	}
+	state := t.TempDir()
+	const sid = 0x51DFA11
+	ft1 := fastFT(sid)
+	ft1.Durable = &Durable{StateDir: state, Workers: addrs}
+
+	// First incarnation: slowed by injected frame delays so the kill lands
+	// mid-stream, then cancelled once the fleet has made real progress.
+	dial1 := func(ctx context.Context, task int) (io.ReadWriteCloser, error) {
+		var d net.Dialer
+		c, err := d.DialContext(ctx, "tcp", addrs[task])
+		if err != nil {
+			return nil, err
+		}
+		return faultwire.Wrap(c, faultwire.Config{
+			Seed:          0xA171 ^ uint64(task),
+			DelayPerMille: 400,
+			Delay:         time.Millisecond,
+		}), nil
+	}
+	ctx1, kill := context.WithCancel(context.Background())
+	defer kill()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunFT(ctx1, dial1, k, sess, recs, Opts{CollectPairs: true}, ft1)
+		done <- err
+	}()
+	progress := func() uint64 {
+		var n uint64
+		for _, w := range workers {
+			n += w.mon.RecordsSeen.Load()
+		}
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for progress() < 300 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if progress() < 300 {
+		t.Fatalf("fleet made no progress before the kill: %d records seen", progress())
+	}
+	kill()
+	if err := <-done; err == nil {
+		// The run outpaced the kill; the resume below still exercises the
+		// full recovery path against a complete state directory.
+		t.Log("first run finished before the kill landed")
+	}
+	// Let the severed session handlers finish their unclean-exit
+	// checkpoints before the resumed coordinator dials back in.
+	time.Sleep(150 * time.Millisecond)
+
+	// Second incarnation: everything comes from the state directory.
+	m, err := checkpoint.LoadManifest(filepath.Join(state, checkpoint.ManifestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := SessionFromHello(m.Hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logRecs, err := ReadIngestLog(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logRecs) == 0 {
+		t.Fatal("ingest log empty after kill")
+	}
+	want := chaosBaseline(t, k, sess2, logRecs)
+
+	var attempts [3]atomic.Int64
+	dial2 := func(ctx context.Context, task int) (io.ReadWriteCloser, error) {
+		var d net.Dialer
+		c, err := d.DialContext(ctx, "tcp", m.Workers[task])
+		if err != nil {
+			return nil, err
+		}
+		return faultwire.Wrap(c, faultwire.Config{
+			Seed:        0x2E5 ^ uint64(task)<<16 ^ uint64(attempts[task].Add(1)),
+			DupPerMille: 20,
+		}), nil
+	}
+	ft2 := fastFT(m.SessionID)
+	ft2.Durable = &Durable{StateDir: state, Resume: true, Workers: m.Workers}
+	sum, err := RunFT(context.Background(), dial2, k, sess2, logRecs, Opts{CollectPairs: true}, ft2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireParity(t, sum.Pairs, want, "kill-resume")
+
+	var resumed uint64
+	for _, w := range workers {
+		resumed += w.mon.SessionsResumed.Load()
+	}
+	if resumed == 0 {
+		t.Error("no worker restored a checkpoint across the coordinator restart")
+	}
+}
+
+// TestWorkerRejectsPlanMismatch pins the stale-state guard: a resuming
+// hello whose plan hash disagrees with the checkpoint's must be refused
+// with checkpoint.ErrPlanMismatch instead of silently replaying
+// wrong-range records, while a matching hash resumes normally.
+func TestWorkerRejectsPlanMismatch(t *testing.T) {
+	const sid = 0xBADB1A
+	sess := testSession(0.7, "broadcast", nil)
+	dir := t.TempDir()
+
+	// Fabricate a v2 checkpoint stamped with plan hash A.
+	j := local.New(local.Naive, local.Options{Params: sess.Params})
+	path := checkpointPath(dir, sid, 0)
+	if err := writeCheckpointFile(path, checkpoint.Cursor{NextID: 5, NextTime: 1}, j,
+		&checkpoint.SessionMeta{PlanHash: 0xAAAA}); err != nil {
+		t.Fatal(err)
+	}
+	local.CloseJoiner(j)
+
+	hello := func(planHash uint64) wire.Hello {
+		h, err := sess.hello(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.FT = true
+		h.Resume = true
+		h.SessionID = sid
+		h.Durable = true
+		h.PlanHash = planHash
+		return h
+	}
+	handshake := func(h wire.Hello) (ackErr, sessErr error) {
+		srv, cli := net.Pipe()
+		defer srv.Close()
+		defer cli.Close()
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- HandleSessionOpts(context.Background(), srv, srv,
+				WorkerOpts{Logf: silentLogf, CheckpointDir: dir})
+		}()
+		wr := wire.NewWriter(cli)
+		if err := wr.WriteHello(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rd := wire.NewReader(cli)
+		ackDone := make(chan error, 1)
+		go func() {
+			typ, err := rd.Next()
+			if err != nil {
+				ackDone <- err
+				return
+			}
+			if typ != wire.TypeResumeAck {
+				ackDone <- errors.New("unexpected frame type")
+				return
+			}
+			_, _, _, err = rd.ReadResumeAckCredit()
+			ackDone <- err
+		}()
+		select {
+		case sessErr = <-errCh:
+			// Rejected before the ack: unblock the pending read.
+			cli.Close()
+			<-ackDone
+			return nil, sessErr
+		case ackErr = <-ackDone:
+			// Handshake succeeded; hang up and collect the session error.
+			cli.Close()
+			return ackErr, <-errCh
+		}
+	}
+
+	// Mismatched hash: refused with the sentinel, before any ack.
+	if _, err := handshake(hello(0xBBBB)); !errors.Is(err, checkpoint.ErrPlanMismatch) {
+		t.Errorf("mismatched plan hash: got %v, want ErrPlanMismatch", err)
+	}
+	// Matching hash: the resume ack arrives and no mismatch is reported.
+	ackErr, sessErr := handshake(hello(0xAAAA))
+	if ackErr != nil {
+		t.Errorf("matching plan hash: resume ack failed: %v", ackErr)
+	}
+	if errors.Is(sessErr, checkpoint.ErrPlanMismatch) {
+		t.Errorf("matching plan hash rejected: %v", sessErr)
+	}
+}
+
+// TestSessionControlPauseHoldsFleet pins the PauseAll mechanism: with the
+// control pre-paused, a running session's workers must see zero records
+// and the coordinator journal must stay quiet across observation rounds —
+// the paused fleet neither streams nor accumulates anything — then Resume
+// releases the run to full parity.
+func TestSessionControlPauseHoldsFleet(t *testing.T) {
+	recs := workload.NewGenerator(workload.UniformSmall(41)).Generate(400)
+	const tau = 0.7
+	k := 2
+	sess := testSession(tau, "broadcast", nil)
+	want := chaosBaseline(t, k, sess, recs)
+
+	workers := make([]*ftWorker, k)
+	for i := range workers {
+		workers[i] = startFTWorker(t, t.TempDir(), 2*time.Millisecond)
+	}
+	jr := obs.NewJournal(256)
+	ctl := &SessionControl{}
+	ctl.Pause() // before launch: deterministic — no record may ever flow
+
+	ft := fastFT(0x9A5E)
+	ft.Control = ctl
+	type result struct {
+		sum *RunSummary
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		sum, err := RunFT(context.Background(),
+			tcpDialer(func(task int) string { return workers[task].addr }),
+			k, sess, recs, Opts{CollectPairs: true, Journal: jr}, ft)
+		done <- result{sum, err}
+	}()
+
+	// Wait for every worker to complete its handshake, then observe.
+	deadline := time.Now().Add(5 * time.Second)
+	started := func() bool {
+		for _, w := range workers {
+			if w.mon.SessionsStarted.Load() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for !started() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !started() {
+		t.Fatal("workers never handshook")
+	}
+	events := jr.Appended()
+	for round := 0; round < 3; round++ {
+		time.Sleep(30 * time.Millisecond)
+		for i, w := range workers {
+			if n := w.mon.RecordsSeen.Load(); n != 0 {
+				t.Fatalf("round %d: paused worker %d saw %d records", round, i, n)
+			}
+		}
+		if n := jr.Appended(); n != events {
+			t.Fatalf("round %d: journal grew from %d to %d events while paused", round, events, n)
+		}
+	}
+
+	ctl.Resume()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		requireParity(t, r.sum.Pairs, want, "pause-resume")
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not complete after resume")
+	}
+	var sawResume bool
+	for _, ev := range jr.Recent(256) {
+		if ev.Type == "resume_all" {
+			sawResume = true
+		}
+	}
+	if !sawResume {
+		t.Error("journal holds no resume_all event")
+	}
+}
+
+// TestPlanHashProperties pins the plan hash as a launch-configuration
+// fingerprint: stable across identical sessions, sensitive to every knob
+// that changes which records a task owns or how they are compared.
+func TestPlanHashProperties(t *testing.T) {
+	base := testSession(0.7, "length", []int{0, 10, 20})
+	if base.PlanHash(3) != base.PlanHash(3) {
+		t.Error("plan hash unstable across calls")
+	}
+	clone := testSession(0.7, "length", []int{0, 10, 20})
+	if clone.PlanHash(3) != base.PlanHash(3) {
+		t.Error("plan hash differs between identical sessions")
+	}
+	variants := map[string]uint64{
+		"workers": base.PlanHash(4),
+	}
+	v := base
+	v.Params.Threshold = 0.8
+	variants["threshold"] = v.PlanHash(3)
+	v = base
+	v.Strategy = "broadcast"
+	v.Bounds = nil
+	variants["strategy"] = v.PlanHash(3)
+	v = base
+	v.Bounds = []int{0, 12, 20}
+	variants["bounds"] = v.PlanHash(3)
+	v = base
+	v.Window = window.Count{N: 64}
+	variants["window"] = v.PlanHash(3)
+	seen := map[uint64]string{base.PlanHash(3): "base"}
+	for name, h := range variants {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("plan hash collision: %s == %s (%016x)", name, prev, h)
+		}
+		seen[h] = name
+	}
+}

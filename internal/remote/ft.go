@@ -20,11 +20,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dispatch"
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -59,6 +61,13 @@ type FT struct {
 	Degraded bool
 	// Registry receives coordinator fault metrics when non-nil.
 	Registry *obs.Registry
+	// Durable enables persistent session state (ingest/results logs plus a
+	// manifest under Durable.StateDir) making the run resumable after a
+	// coordinator crash. Requires a non-zero SessionID.
+	Durable *Durable
+	// Control, when non-nil, lets the caller pause and resume the record
+	// streams mid-run (admission control against a backlogged fleet).
+	Control *SessionControl
 }
 
 // errEpochChanged aborts an attempt whose worker log was rebuilt (the
@@ -76,6 +85,14 @@ type ftEntry struct {
 	store      bool
 	traceID    uint64
 	parentSpan int
+}
+
+// resumeAck is the decoded handshake answer: the worker's resume cursor
+// and whether the peer speaks wire v4 (it appended an initial record
+// credit to the ack).
+type resumeAck struct {
+	next uint64
+	v4   bool
 }
 
 // ftMetrics holds the coordinator-side fault instruments. All fields are
@@ -178,6 +195,8 @@ type ftRunner struct {
 	origBounds []int
 	start      time.Time
 	cancel     context.CancelFunc
+	durable    *durableState
+	planHash   uint64
 
 	st      ftState
 	notify  []chan struct{} // per-worker wakeups, capacity 1
@@ -293,6 +312,34 @@ func RunFT(ctx context.Context, dial Dialer, workers int, sess Session, recs []*
 		f.notify[i] = make(chan struct{}, 1)
 	}
 
+	if ft.Durable != nil {
+		if ft.SessionID == 0 {
+			return nil, fmt.Errorf("remote: durable runs need a non-zero session id")
+		}
+		ds, derr := openDurable(*ft.Durable)
+		if derr != nil {
+			return nil, derr
+		}
+		defer ds.close()
+		f.durable = ds
+		f.planHash = sess.PlanHash(workers)
+		if ft.Durable.Resume {
+			n, serr := ds.seedResults(f.coll)
+			if serr != nil {
+				return nil, serr
+			}
+			f.journal.Append("session_resume", "coordinator",
+				fmt.Sprintf("session %016x resumed: %d records in ingest log, %d durable results recovered",
+					ft.SessionID, ds.ingest.Next(), n))
+		}
+		if merr := f.saveManifest(); merr != nil {
+			return nil, merr
+		}
+	}
+	if ft.Control != nil {
+		ft.Control.r.Store(f)
+	}
+
 	for i := 0; i < workers; i++ {
 		f.wg.Add(1)
 		go func(task int) {
@@ -318,6 +365,15 @@ func RunFT(ctx context.Context, dial Dialer, workers int, sess Session, recs []*
 	}
 	close(f.finalCh)
 	f.wg.Wait()
+	if f.durable != nil {
+		// Final manifest: cursors at end-of-log, both WALs synced so the
+		// state directory is complete on disk before the summary returns.
+		f.durable.ingest.Sync()
+		f.durable.results.Sync()
+		if merr := f.saveManifest(); merr != nil {
+			return nil, merr
+		}
+	}
 
 	sum := &RunSummary{Records: uint64(len(recs))}
 	f.st.mu.Lock()
@@ -343,7 +399,7 @@ func RunFT(ctx context.Context, dial Dialer, workers int, sess Session, recs []*
 func (f *ftRunner) dispatch(ctx context.Context, recs []*record.Record) error {
 	buf := make([]int, 0, f.k)
 	touched := make([]int, 0, f.k)
-	for _, r := range recs {
+	for i, r := range recs {
 		if err := ctx.Err(); err != nil {
 			f.st.mu.Lock()
 			fatal := f.st.fatal
@@ -352,6 +408,14 @@ func (f *ftRunner) dispatch(ctx context.Context, recs []*record.Record) error {
 				return fatal
 			}
 			return fmt.Errorf("remote: %w", err)
+		}
+		if f.durable != nil {
+			// Persist before routing: a record is only ever sent to a worker
+			// after it is in the ingest log, so a restart can always re-drive
+			// everything any worker might have partially processed.
+			if err := f.durable.appendRecord(uint64(i), r); err != nil {
+				return fmt.Errorf("remote: ingest log append: %w", err)
+			}
 		}
 		touched = touched[:0]
 		f.st.mu.Lock()
@@ -392,7 +456,53 @@ func (f *ftRunner) dispatch(ctx context.Context, recs []*record.Record) error {
 	f.st.closed = true
 	f.st.mu.Unlock()
 	f.kickAll()
+	if f.durable != nil {
+		// Ingest complete: sync the log and stamp the manifest so a crash
+		// from here on can replay the full record stream.
+		if err := f.durable.ingest.Sync(); err != nil {
+			return fmt.Errorf("remote: ingest log sync: %w", err)
+		}
+		if err := f.saveManifest(); err != nil {
+			return err
+		}
+		f.journal.Append("ingest_sealed", "coordinator",
+			fmt.Sprintf("ingest log sealed at %d records", f.durable.ingest.Next()))
+	}
 	return nil
+}
+
+// saveManifest atomically writes the session manifest: launch hello, plan
+// hash, current (possibly rebalanced) bounds, WAL positions and advisory
+// per-task send cursors.
+func (f *ftRunner) saveManifest() error {
+	if f.durable == nil {
+		return nil
+	}
+	h, err := f.sess.hello(0, f.k)
+	if err != nil {
+		return err
+	}
+	h.FT = true
+	h.SessionID = f.ft.SessionID
+	h.Durable = true
+	h.PlanHash = f.planHash
+	m := &checkpoint.Manifest{
+		Schema:    checkpoint.ManifestSchema,
+		SessionID: f.ft.SessionID,
+		PlanHash:  f.planHash,
+		Hello:     h,
+		Workers:   append([]string(nil), f.durable.cfg.Workers...),
+	}
+	f.st.mu.Lock()
+	m.Bounds = append([]int(nil), f.st.bounds...)
+	m.Cursors = make([]checkpoint.TaskCursor, f.k)
+	for i := 0; i < f.k; i++ {
+		m.Cursors[i] = checkpoint.TaskCursor{Task: i, SentPos: uint64(f.st.sentPos[i])}
+	}
+	f.st.mu.Unlock()
+	m.IngestNext = f.durable.ingest.Next()
+	m.ResultsNext = f.durable.results.Next()
+	return checkpoint.SaveManifest(filepath.Join(f.durable.cfg.StateDir, checkpoint.ManifestPath), m)
 }
 
 // await blocks until every alive worker has finished its full log, or the
@@ -533,6 +643,8 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 	h.FT = true
 	h.Resume = resume
 	h.SessionID = f.ft.SessionID
+	h.Durable = f.durable != nil
+	h.PlanHash = f.planHash
 	if err := w.WriteHello(h); err != nil {
 		conn.Close()
 		return false, fmt.Errorf("remote: hello to worker %d: %w", task, err)
@@ -542,7 +654,16 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 		return false, fmt.Errorf("remote: hello to worker %d: %w", task, err)
 	}
 
-	ackCh := make(chan uint64, 1)
+	// Per-attempt flow-control state shared between the reader goroutine
+	// and the write loop. Credits are per-connection by design (wire v4):
+	// every handshake resets them, so nothing here survives the attempt.
+	var (
+		recCredit    atomic.Int64  // records the worker will currently accept
+		resDurable   atomic.Uint64 // distinct durable results received on this connection
+		workerPaused atomic.Bool   // worker-requested pause (unacked watermark)
+	)
+
+	ackCh := make(chan resumeAck, 1)
 	statsCh := make(chan wire.Stats, 1)
 	readErrCh := make(chan error, 1)
 	var aw sync.WaitGroup
@@ -550,6 +671,14 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 	go func() {
 		defer aw.Done()
 		rd := wire.NewReader(conn)
+		ackSeen := false
+		// connSeen dedups result frames within this connection so a frame
+		// duplicated by a flaky transport is never credited twice — the
+		// soundness condition of count-based acknowledgement.
+		var connSeen map[[2]record.ID]bool
+		if f.durable != nil {
+			connSeen = make(map[[2]record.ID]bool)
+		}
 		for {
 			typ, rerr := rd.Next()
 			if rerr != nil {
@@ -560,24 +689,62 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 			// wire-dispatch: coordinator
 			switch typ {
 			case wire.TypeResumeAck:
-				v, rerr := rd.ReadResumeAck()
+				next, credit, hasCredit, rerr := rd.ReadResumeAckCredit()
 				if rerr != nil {
 					readErrCh <- rerr
 					return
 				}
-				select {
-				case ackCh <- v:
-				default: // duplicate ack frame (fault injection); drop
+				if ackSeen {
+					continue // duplicate ack frame (fault injection); drop
 				}
+				ackSeen = true
+				if hasCredit {
+					recCredit.Store(int64(credit))
+				}
+				ackCh <- resumeAck{next: next, v4: hasCredit}
 			case wire.TypeResult:
 				res, rerr := rd.ReadResult()
 				if rerr != nil {
 					readErrCh <- rerr
 					return
 				}
-				if !f.coll.add(res) && f.met.dupResults != nil {
+				isNew := f.coll.add(res)
+				if !isNew && f.met.dupResults != nil {
 					f.met.dupResults.Inc()
 				}
+				if f.durable != nil {
+					key := [2]record.ID{res.A, res.B}
+					if !connSeen[key] {
+						connSeen[key] = true
+						if isNew {
+							if aerr := f.durable.appendResult(res); aerr != nil {
+								readErrCh <- fmt.Errorf("remote: results log append: %w", aerr)
+								return
+							}
+						}
+						// New or re-sent, the result is now (or already was)
+						// in the results log: creditable once synced.
+						resDurable.Add(1)
+						f.kick(task)
+					}
+				}
+			case wire.TypeCredit:
+				n, rerr := rd.ReadCredit()
+				if rerr != nil {
+					readErrCh <- rerr
+					return
+				}
+				recCredit.Add(int64(n))
+				f.kick(task)
+			case wire.TypePause:
+				workerPaused.Store(true)
+				f.journal.Append("worker_pause", "coordinator",
+					fmt.Sprintf("worker %d asked to pause: unacked results over watermark", task))
+			case wire.TypeResume:
+				workerPaused.Store(false)
+				f.journal.Append("worker_resume", "coordinator",
+					fmt.Sprintf("worker %d released its pause", task))
+				f.kick(task)
 			case wire.TypePong:
 				// Stamp above is the whole point.
 			case wire.TypeStats:
@@ -636,7 +803,7 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 		aw.Wait()
 	}()
 
-	var ack uint64
+	var ack resumeAck
 	select {
 	case ack = <-ackCh:
 	case rerr := <-readErrCh:
@@ -644,6 +811,7 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 	case <-ctx.Done():
 		return false, fmt.Errorf("remote: %w", ctx.Err())
 	}
+	v4 := ack.v4
 
 	// Handshake complete: locate the replay position and reset bookkeeping.
 	f.st.mu.Lock()
@@ -653,7 +821,7 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 	}
 	f.st.rebuilt[task] = false
 	log := f.st.logs[task]
-	pos := sort.Search(len(log), func(i int) bool { return uint64(log[i].rec.ID) >= ack })
+	pos := sort.Search(len(log), func(i int) bool { return uint64(log[i].rec.ID) >= ack.next })
 	if prev := f.st.sentPos[task]; prev > pos {
 		n := uint64(prev - pos)
 		f.replayed.Add(n)
@@ -671,7 +839,7 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 			f.met.recovery.Observe(time.Since(failSince))
 		}
 		f.journal.Append("reconnect", "coordinator",
-			fmt.Sprintf("worker %d reconnected, resuming from id %d", task, ack))
+			fmt.Sprintf("worker %d reconnected, resuming from id %d", task, ack.next))
 	}
 
 	// drainReader parks until the reader goroutine is done after a write
@@ -691,6 +859,8 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 	ping := time.NewTicker(f.hbInterval)
 	defer ping.Stop()
 	eofSent := false
+	var credited uint64  // result credits granted on this connection
+	toldPaused := false  // coordinator-side pause state the worker was told
 	for {
 		f.st.mu.Lock()
 		if f.st.epoch[task] != epoch {
@@ -702,28 +872,80 @@ func (f *ftRunner) attempt(ctx context.Context, task int, epoch uint64, resume, 
 		closed := f.st.closed
 		f.st.mu.Unlock()
 
-		if pos < end {
-			for _, e := range log[pos:end] {
-				if werr := w.WriteRecordTraced(e.store, false, e.rec, e.traceID, e.parentSpan); werr != nil {
+		// Result acknowledgements flow before anything else — and crucially
+		// regardless of pause state, or a paused worker's unacked buffer
+		// could never drain. The sync makes every credited result durable
+		// whatever the WAL's background fsync policy says.
+		if v4 && f.durable != nil {
+			if d := resDurable.Load(); d > credited {
+				if serr := f.durable.results.Sync(); serr != nil {
 					drainReader()
-					return true, fmt.Errorf("remote: record to worker %d: %w", task, werr)
+					return true, fmt.Errorf("remote: results log sync: %w", serr)
 				}
+				if werr := w.WriteCredit(d - credited); werr != nil {
+					drainReader()
+					return true, fmt.Errorf("remote: credit to worker %d: %w", task, werr)
+				}
+				credited = d
 			}
-			if werr := w.Flush(); werr != nil {
-				drainReader()
-				return true, fmt.Errorf("remote: flush to worker %d: %w", task, werr)
-			}
-			f.tuples.Add(uint64(end - pos))
-			pos = end
-			f.st.mu.Lock()
-			if pos > f.st.sentPos[task] {
-				f.st.sentPos[task] = pos
-			}
-			f.st.mu.Unlock()
-			continue
 		}
 
-		if closed && !eofSent {
+		// Coordinator-side admission control: tell a v4 worker about pause
+		// transitions so it can journal and relax its own pacing; the actual
+		// gate is below and applies to any peer version.
+		ctlPaused := f.ft.Control.Paused()
+		if v4 && ctlPaused != toldPaused {
+			var werr error
+			if ctlPaused {
+				werr = w.WritePause()
+			} else {
+				werr = w.WriteResume()
+			}
+			if werr != nil {
+				drainReader()
+				return true, fmt.Errorf("remote: pause/resume to worker %d: %w", task, werr)
+			}
+			toldPaused = ctlPaused
+		}
+		paused := ctlPaused || workerPaused.Load()
+
+		if pos < end && !paused {
+			n := end - pos
+			if v4 {
+				// Credit-gated: send at most what the worker granted. Out of
+				// credit, park below until a Credit frame replenishes.
+				if avail := recCredit.Load(); avail <= 0 {
+					n = 0
+				} else if int64(n) > avail {
+					n = int(avail)
+				}
+			}
+			if n > 0 {
+				for _, e := range log[pos : pos+n] {
+					if werr := w.WriteRecordTraced(e.store, false, e.rec, e.traceID, e.parentSpan); werr != nil {
+						drainReader()
+						return true, fmt.Errorf("remote: record to worker %d: %w", task, werr)
+					}
+				}
+				if werr := w.Flush(); werr != nil {
+					drainReader()
+					return true, fmt.Errorf("remote: flush to worker %d: %w", task, werr)
+				}
+				f.tuples.Add(uint64(n))
+				if v4 {
+					recCredit.Add(-int64(n))
+				}
+				pos += n
+				f.st.mu.Lock()
+				if pos > f.st.sentPos[task] {
+					f.st.sentPos[task] = pos
+				}
+				f.st.mu.Unlock()
+				continue
+			}
+		}
+
+		if closed && !eofSent && pos == end && !paused {
 			// Flush while the watchdog still enforces the deadline, then
 			// relax it: post-EOF stats can legitimately take a while with
 			// nothing on the wire.
@@ -831,6 +1053,14 @@ func (f *ftRunner) declareDead(task, failures int, cause error) {
 	}
 	f.journal.Append("rebalance", "coordinator",
 		fmt.Sprintf("worker %d ranges rebalanced onto heir %d, heir log rebuilt", task, heir))
+	if f.durable != nil {
+		// Manifest keeps the launch hello (plan hash must stay stable) but
+		// records the rebalanced bounds for status tooling.
+		if merr := f.saveManifest(); merr != nil {
+			f.journal.Append("manifest_error", "coordinator",
+				fmt.Sprintf("manifest save after rebalance failed: %v", merr))
+		}
+	}
 	if heirConn != nil {
 		// Interrupt the heir's in-flight attempt; its manager reconnects
 		// with the rebuilt log without charging the retry budget.

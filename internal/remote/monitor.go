@@ -34,6 +34,13 @@ type Monitor struct {
 	// DuplicateRecords counts records dropped by the FT replay/duplicate
 	// filter (ID at or below the resume cursor).
 	DuplicateRecords atomic.Uint64
+	// UnackedResults gauges results buffered by durable sessions awaiting a
+	// coordinator durability acknowledgement — the worker-side backpressure
+	// signal. Grows without bound if the coordinator stops acking.
+	UnackedResults atomic.Int64
+	// PausedSessions gauges sessions that asked their coordinator to pause
+	// the record stream (unacked buffer over the high watermark).
+	PausedSessions atomic.Int64
 	// SessionLatency tracks wall time per completed session (failures
 	// included).
 	SessionLatency metrics.SyncLatency
@@ -153,6 +160,16 @@ func (m *Monitor) HealthSignals() map[string]float64 {
 	if age := m.CheckpointAge(); age >= 0 {
 		sig["checkpoint_lag_s"] = age
 	}
+	unacked := m.UnackedResults.Load()
+	if unacked < 0 {
+		unacked = 0
+	}
+	sig["unacked"] = float64(unacked)
+	paused := m.PausedSessions.Load()
+	if paused < 0 {
+		paused = 0
+	}
+	sig["paused"] = float64(paused)
 	return sig
 }
 
@@ -168,12 +185,22 @@ func (m *Monitor) Snapshot() map[string]uint64 {
 	if inflight < 0 {
 		inflight = 0
 	}
+	unacked := m.UnackedResults.Load()
+	if unacked < 0 {
+		unacked = 0
+	}
+	paused := m.PausedSessions.Load()
+	if paused < 0 {
+		paused = 0
+	}
 	return map[string]uint64{
 		"sessions_started":  started,
 		"sessions_finished": finished,
 		"sessions_failed":   failed,
 		"sessions_active":   started - finished - failed,
 		"sessions_resumed":  m.SessionsResumed.Load(),
+		"unacked_results":   uint64(unacked),
+		"paused_sessions":   uint64(paused),
 		"records_seen":      m.RecordsSeen.Load(),
 		"results_emitted":   m.ResultsEmitted.Load(),
 		"inflight_records":  uint64(inflight),
@@ -223,6 +250,24 @@ func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("worker_duplicate_records_total",
 		"Records dropped by the FT replay/duplicate filter.",
 		func() float64 { return float64(m.DuplicateRecords.Load()) })
+	reg.GaugeFunc("worker_unacked_results",
+		"Results buffered by durable sessions awaiting coordinator acknowledgement.",
+		func() float64 {
+			n := m.UnackedResults.Load()
+			if n < 0 {
+				n = 0
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("worker_paused_sessions",
+		"Sessions that asked the coordinator to pause the record stream.",
+		func() float64 {
+			n := m.PausedSessions.Load()
+			if n < 0 {
+				n = 0
+			}
+			return float64(n)
+		})
 	reg.GaugeFunc("worker_load",
 		"Record throughput (records/second) since the previous scrape.",
 		m.Load)

@@ -16,6 +16,7 @@ package remote
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/bundle"
 	"repro/internal/dispatch"
@@ -83,6 +84,73 @@ func (s Session) hello(task, workers int) (wire.Hello, error) {
 		return h, fmt.Errorf("remote: unknown strategy %q", s.Strategy)
 	}
 	return h, nil
+}
+
+// PlanHash fingerprints the launch configuration: worker count, strategy,
+// partition bounds, similarity parameters, window, bundle knobs and
+// bi-stream mode. Coordinators stamp it into v4 hellos and session
+// manifests; workers persist it in checkpoints so a resume against a
+// *different* plan (stale checkpoint directory, edited bounds) is rejected
+// instead of silently producing wrong results. FNV-1a over the canonical
+// field encoding — stable across runs of the same launch config.
+func (s Session) PlanHash(workers int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(workers))
+	mix(uint64(len(s.Strategy)))
+	for i := 0; i < len(s.Strategy); i++ {
+		mix(uint64(s.Strategy[i]))
+	}
+	mix(uint64(len(s.Bounds)))
+	for _, b := range s.Bounds {
+		mix(uint64(b))
+	}
+	mix(uint64(s.Params.Func))
+	mix(math.Float64bits(s.Params.Threshold))
+	mix(uint64(s.Algorithm))
+	switch w := s.Window.(type) {
+	case nil, window.Unbounded:
+		mix(0)
+	case window.Count:
+		mix(1)
+		mix(uint64(w.N))
+	case window.Time:
+		mix(2)
+		mix(uint64(w.Span))
+	default:
+		mix(^uint64(0))
+	}
+	mix(uint64(s.Bundle.GroupThreshold))
+	mix(uint64(s.Bundle.MaxMembers))
+	if s.Bundle.OneByOneVerify {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	if s.Bi {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	return h
+}
+
+// SessionFromHello reconstructs a Session from a wire hello — the resume
+// path: a saved manifest carries the launch hello, and the relaunched
+// coordinator turns it back into the Session it must re-run.
+func SessionFromHello(h wire.Hello) (Session, error) {
+	s, _, err := sessionFromHello(h)
+	return s, err
 }
 
 // sessionFromHello reconstructs the worker-side session.

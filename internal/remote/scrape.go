@@ -44,6 +44,12 @@ type WorkerStatus struct {
 	// recomputed from the scraped worker_record_seconds buckets.
 	P50Us float64
 	P99Us float64
+	// Unacked is worker_unacked_results: durable-session results buffered
+	// awaiting coordinator acknowledgement.
+	Unacked float64
+	// Paused is worker_paused_sessions: sessions that asked the coordinator
+	// to pause the record stream — the fleet's shedding/backpressure flag.
+	Paused float64
 }
 
 // ScrapeWorker fetches base's /metrics endpoint and parses the exposition
@@ -82,6 +88,8 @@ func StatusFrom(addr string, pm obs.ParsedMetrics) WorkerStatus {
 	st.SessionsActive = started -
 		pm.Value("worker_sessions_finished_total", 0) -
 		pm.Value("worker_sessions_failed_total", 0)
+	st.Unacked = pm.Value("worker_unacked_results", 0)
+	st.Paused = pm.Value("worker_paused_sessions", 0)
 	if fam := pm["worker_record_seconds_bucket"]; fam != nil {
 		st.P50Us = obs.HistogramQuantile(fam.Samples, 0.5) * 1e6
 		st.P99Us = obs.HistogramQuantile(fam.Samples, 0.99) * 1e6
@@ -162,6 +170,8 @@ func SignalsFrom(st WorkerStatus) map[string]float64 {
 	sig["records"] = st.Records
 	sig["results"] = st.Results
 	sig["sessions_active"] = st.SessionsActive
+	sig["unacked"] = st.Unacked
+	sig["paused"] = st.Paused
 	if st.Stale {
 		sig["stale"] = 1
 	}

@@ -145,13 +145,33 @@ func checkpointPath(dir string, sessionID uint64, task int) string {
 	return filepath.Join(dir, fmt.Sprintf("ckpt-%016x-t%03d.ckpt", sessionID, task))
 }
 
+// Worker-side flow-control parameters (wire v4).
+const (
+	// workerRecordWindow is the per-connection record credit granted in the
+	// resume ack; half of it is the replenishment batch.
+	workerRecordWindow = 4096
+	// unackedPauseHigh/-Low are the unacked-result watermarks at which a
+	// durable session asks the coordinator to pause and resume the record
+	// stream.
+	unackedPauseHigh = 8192
+	unackedPauseLow  = 4096
+)
+
 // writeCheckpointFile atomically replaces path with a fresh checkpoint of
-// j at cursor cur (write to a temp file, then rename).
-func writeCheckpointFile(path string, cur checkpoint.Cursor, j local.Joiner) error {
+// j at cursor cur (write to a temp file, then rename). A non-nil meta
+// prepends the v2 session envelope (plan hash, unacked results).
+func writeCheckpointFile(path string, cur checkpoint.Cursor, j local.Joiner, meta *checkpoint.SessionMeta) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
+	}
+	if meta != nil {
+		if err := checkpoint.WriteSessionHeader(f, *meta); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
 	}
 	if err := checkpoint.Write(f, cur, j); err != nil {
 		f.Close()
@@ -245,26 +265,52 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 		lastID   uint64
 		lastTime int64
 		haveLast bool
+		// unacked is the durable-mode result buffer: everything emitted but
+		// not yet acknowledged as durable by a coordinator Credit frame, in
+		// emission order. Restored from the checkpoint's v2 envelope on
+		// resume and re-sent after the ack.
+		unacked    []wire.Result
+		selfPaused bool
 	)
+	// v4 gates the flow-control frames: both peers speak wire v4 and the
+	// session is fault-tolerant (a plain coordinator has no credit loop).
+	v4 := h.Version >= 4 && h.FT
 	if h.FT {
 		next := uint64(0)
 		if h.Resume && ckptPath != "" {
 			if blob, rerr := os.ReadFile(ckptPath); rerr == nil {
-				cur, n, cerr := checkpoint.Read(bytes.NewReader(blob), joiner)
-				if cerr != nil {
+				startFresh := func(why error) {
 					// A torn or stale file must not poison the session:
 					// drop the partially-loaded joiner and start fresh.
-					o.logf("remote worker: checkpoint %s unreadable, starting fresh: %v", ckptPath, cerr)
+					o.logf("remote worker: checkpoint %s unreadable, starting fresh: %v", ckptPath, why)
 					local.CloseJoiner(joiner)
 					joiner = local.New(sess.Algorithm, opts)
+				}
+				meta, body, isV2, herr := checkpoint.ReadSessionHeader(bytes.NewReader(blob))
+				if herr != nil {
+					startFresh(herr)
+				} else if isV2 && h.PlanHash != 0 && meta.PlanHash != 0 && meta.PlanHash != h.PlanHash {
+					// The checkpoint belongs to a different launch plan —
+					// a stale state directory reused under the same session
+					// id. Resuming it would replay wrong-range records, so
+					// refuse loudly instead of degrading silently.
+					o.Journal.Append("resume_rejected", comp,
+						fmt.Sprintf("session %016x checkpoint plan %016x does not match hello plan %016x",
+							h.SessionID, meta.PlanHash, h.PlanHash))
+					return fmt.Errorf("remote: session %016x task %d: checkpoint plan hash %016x, hello plan hash %016x: %w",
+						h.SessionID, h.Task, meta.PlanHash, h.PlanHash, checkpoint.ErrPlanMismatch)
+				} else if cur, n, cerr := checkpoint.Read(body, joiner); cerr != nil {
+					startFresh(cerr)
 				} else {
 					next = cur.NextID
 					lastTime = cur.NextTime - 1
+					unacked = meta.Unacked
 					if mon != nil {
 						mon.SessionsResumed.Add(1)
 					}
 					o.Journal.Append("resume", comp,
-						fmt.Sprintf("session %016x restored %d records from checkpoint, next id %d", h.SessionID, n, next))
+						fmt.Sprintf("session %016x restored %d records from checkpoint, next id %d, %d unacked results",
+							h.SessionID, n, next, len(unacked)))
 					o.logf("remote worker: resumed session %016x task %d from checkpoint (%d records, next id %d)",
 						h.SessionID, h.Task, n, next)
 				}
@@ -275,9 +321,16 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 		if next > 0 {
 			lastID, haveLast = next-1, true
 		}
-		if err := wr.WriteResumeAck(next); err != nil {
+		if v4 {
+			if err := wr.WriteResumeAckCredit(next, workerRecordWindow); err != nil {
+				return fmt.Errorf("remote: writing resume ack: %w", err)
+			}
+		} else if err := wr.WriteResumeAck(next); err != nil {
 			return fmt.Errorf("remote: writing resume ack: %w", err)
 		}
+	}
+	if mon != nil && len(unacked) > 0 {
+		mon.UnackedResults.Add(int64(len(unacked)))
 	}
 
 	task, workers := h.Task, h.Workers
@@ -303,7 +356,36 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 				mon.ResultsEmitted.Add(1)
 			}
 			emitted++
-			writeErr = wr.WriteResult(wire.Result{A: a, B: b, Sim: m.Sim})
+			res := wire.Result{A: a, B: b, Sim: m.Sim}
+			writeErr = wr.WriteResult(res)
+			if h.Durable {
+				unacked = append(unacked, res)
+				if mon != nil {
+					mon.UnackedResults.Add(1)
+				}
+				if v4 && !selfPaused && len(unacked) >= unackedPauseHigh {
+					// Ask the coordinator to hold records until the credit
+					// stream drains the buffer below the low watermark.
+					selfPaused = true
+					if mon != nil {
+						mon.PausedSessions.Add(1)
+					}
+					o.Journal.Append("flow_pause", comp,
+						fmt.Sprintf("session %016x paused the record stream: %d unacked results", h.SessionID, len(unacked)))
+					if werr := wr.WritePause(); werr != nil && writeErr == nil {
+						writeErr = werr
+					}
+				}
+			}
+		}
+	}
+
+	// Re-send the restored unacked tail: the previous coordinator may have
+	// died before persisting these; the new one's dedup drops any it
+	// already has and acknowledges all of them either way.
+	for _, res := range unacked {
+		if err := wr.WriteResult(res); err != nil {
+			return fmt.Errorf("remote: re-sending unacked result: %w", err)
 		}
 	}
 
@@ -341,7 +423,11 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 			return
 		}
 		cur := checkpoint.Cursor{NextID: lastID + 1, NextTime: lastTime + 1}
-		if err := writeCheckpointFile(ckptPath, cur, joiner); err != nil {
+		var meta *checkpoint.SessionMeta
+		if h.Durable || h.PlanHash != 0 {
+			meta = &checkpoint.SessionMeta{PlanHash: h.PlanHash, Unacked: unacked}
+		}
+		if err := writeCheckpointFile(ckptPath, cur, joiner, meta); err != nil {
 			o.logf("remote worker: checkpoint write failed: %v", err)
 			return
 		}
@@ -356,6 +442,7 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 	lastCkpt := time.Now()
 	first := true
 	var dups uint64
+	var consumed uint64 // records since the last credit replenishment (v4)
 	loop := func() error {
 		for {
 			if err := ctx.Err(); err != nil {
@@ -391,6 +478,18 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 				rt, err := rd.ReadRecord()
 				if err != nil {
 					return err
+				}
+				if v4 {
+					// Replenish the coordinator's record credit in half-window
+					// batches. Duplicates count too: the coordinator spent
+					// credit on every frame it sent.
+					consumed++
+					if consumed >= workerRecordWindow/2 {
+						if cerr := wr.WriteCredit(consumed); cerr != nil {
+							return fmt.Errorf("remote: writing credit: %w", cerr)
+						}
+						consumed = 0
+					}
 				}
 				if h.FT && haveLast && uint64(rt.Rec.ID) <= lastID {
 					// Replay overlap or an injected duplicate frame: the
@@ -448,6 +547,46 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 					saveCheckpoint()
 					lastCkpt = time.Now()
 				}
+			case wire.TypeCredit:
+				// Coordinator acknowledgement: the first n results of the
+				// unacked buffer are durable in its results log. Clamp n —
+				// counts are advisory, the buffer is the truth.
+				n, cerr := rd.ReadCredit()
+				if cerr != nil {
+					return cerr
+				}
+				d := len(unacked)
+				if n < uint64(d) {
+					d = int(n)
+				}
+				if d > 0 {
+					unacked = unacked[d:]
+					if len(unacked) == 0 {
+						unacked = nil // release the drained backing array
+					}
+					if mon != nil {
+						mon.UnackedResults.Add(-int64(d))
+					}
+				}
+				if selfPaused && len(unacked) <= unackedPauseLow {
+					selfPaused = false
+					if mon != nil {
+						mon.PausedSessions.Add(-1)
+					}
+					o.Journal.Append("flow_resume", comp,
+						fmt.Sprintf("session %016x resumed the record stream: %d unacked results", h.SessionID, len(unacked)))
+					if werr := wr.WriteResume(); werr != nil {
+						return fmt.Errorf("remote: writing resume: %w", werr)
+					}
+				}
+			case wire.TypePause:
+				// Coordinator-side admission control parked the record
+				// stream; keep serving pings and credits.
+				o.Journal.Append("paused", comp,
+					fmt.Sprintf("session %016x paused by coordinator", h.SessionID))
+			case wire.TypeResume:
+				o.Journal.Append("resumed", comp,
+					fmt.Sprintf("session %016x resumed by coordinator", h.SessionID))
 			case wire.TypeEOF:
 				return sendStats()
 			case wire.TypeSnapshotReq:
@@ -468,6 +607,14 @@ func HandleSessionOpts(ctx context.Context, r io.Reader, w io.Writer, o WorkerOp
 		}
 	}
 	err = loop()
+	if mon != nil {
+		// The session's live buffer is gone either way; what survives a
+		// crash lives in the checkpoint, not the gauge.
+		mon.UnackedResults.Add(-int64(len(unacked)))
+		if selfPaused {
+			mon.PausedSessions.Add(-1)
+		}
+	}
 	if ckptPath != "" {
 		if err != nil {
 			// Unclean end: persist the window so a resuming coordinator

@@ -1,0 +1,226 @@
+// Admission control for the stream engine: what a producer does when a
+// destination queue is full, and watermark-based pressure signaling so
+// the rest of the system (journal events, health rules, the remote
+// coordinator's credit scheme) learns about overload *before* the
+// process OOMs or wedges on a full channel.
+//
+// The default policy keeps the engine's historical behavior: block on
+// the bounded channel, which is lossless backpressure. The shed policies
+// trade tuples for liveness with exact accounting — every dropped tuple
+// is counted, so produced = consumed + shed holds to the tuple.
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// AdmissionPolicy selects the full-queue behavior of every edge in a
+// topology.
+type AdmissionPolicy int
+
+const (
+	// AdmitBlock blocks the producer until the consumer drains (lossless,
+	// the default).
+	AdmitBlock AdmissionPolicy = iota
+	// AdmitShedOldest drops the oldest queued batch to make room for the
+	// new one: freshest data wins, age-sensitive workloads degrade
+	// gracefully.
+	AdmitShedOldest
+	// AdmitShedSampled drops a deterministic 1-in-N of incoming batches
+	// while the queue is full and blocks for the rest: thins the stream
+	// under overload without starving any producer.
+	AdmitShedSampled
+)
+
+// ParseAdmissionPolicy maps the CLI spelling to a policy.
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) {
+	switch s {
+	case "block", "":
+		return AdmitBlock, nil
+	case "shed-oldest":
+		return AdmitShedOldest, nil
+	case "shed-sampled":
+		return AdmitShedSampled, nil
+	}
+	return 0, fmt.Errorf("stream: unknown admission policy %q (want block, shed-oldest or shed-sampled)", s)
+}
+
+// String renders the policy in its ParseAdmissionPolicy spelling.
+func (p AdmissionPolicy) String() string {
+	switch p {
+	case AdmitShedOldest:
+		return "shed-oldest"
+	case AdmitShedSampled:
+		return "shed-sampled"
+	default:
+		return "block"
+	}
+}
+
+// AdmissionConfig tunes admission control and pressure watermarks.
+type AdmissionConfig struct {
+	Policy AdmissionPolicy
+	// SampleN is the shed-sampled drop rate: 1 in SampleN full-queue
+	// batches is dropped. Default 2.
+	SampleN int
+	// HighPct/LowPct are the queue-depth watermarks (percent of capacity)
+	// at which a producer→destination link engages and releases pressure.
+	// Defaults 80 and 50.
+	HighPct int
+	LowPct  int
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.SampleN <= 1 {
+		c.SampleN = 2
+	}
+	if c.HighPct <= 0 || c.HighPct > 100 {
+		c.HighPct = 80
+	}
+	if c.LowPct <= 0 || c.LowPct >= c.HighPct {
+		c.LowPct = c.HighPct / 2
+		if c.LowPct == 0 {
+			c.LowPct = 1
+		}
+	}
+	return c
+}
+
+// WithAdmission enables admission control with cfg. Without this option
+// the engine behaves exactly as before: producers block on full queues
+// and no pressure state is tracked.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(tp *Topology) {
+		c := cfg.withDefaults()
+		tp.adm = &c
+	}
+}
+
+// AdmissionStats is the exact shed/pressure accounting of one run.
+type AdmissionStats struct {
+	ShedTuples  uint64 // tuples dropped by a shed policy
+	ShedBatches uint64 // transport batches those tuples rode in
+	Transitions uint64 // pressure engage+release edges across all links
+}
+
+// admission is the per-run admission runtime shared by every edgeOut.
+// The atomic counters are the exactness contract: a tuple is counted
+// shed in the same operation that drops it.
+type admission struct {
+	policy      AdmissionPolicy
+	sampleN     uint64
+	highBatches int // queue depth (batches) that engages pressure
+	lowBatches  int // queue depth that releases it
+	shedTuples  atomic.Uint64
+	shedBatches atomic.Uint64
+	transitions atomic.Uint64
+	pressured   atomic.Int64 // producer→destination links currently engaged
+	// onTransition is invoked on every pressure edge (engaged=true/false)
+	// from the producer goroutine. Wired by Run to the topology journal;
+	// deliberately a dynamic call so the rare slow path (which formats and
+	// allocates) stays off the zero-alloc static call graph of send.
+	onTransition func(dest *taskRun, engaged bool)
+}
+
+func newAdmission(cfg AdmissionConfig, queueCap int) *admission {
+	a := &admission{
+		policy:      cfg.Policy,
+		sampleN:     uint64(cfg.SampleN),
+		highBatches: queueCap * cfg.HighPct / 100,
+		lowBatches:  queueCap * cfg.LowPct / 100,
+	}
+	if a.highBatches < 1 {
+		a.highBatches = 1
+	}
+	if a.lowBatches >= a.highBatches {
+		a.lowBatches = a.highBatches - 1
+	}
+	return a
+}
+
+// stats snapshots the counters.
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		ShedTuples:  a.shedTuples.Load(),
+		ShedBatches: a.shedBatches.Load(),
+		Transitions: a.transitions.Load(),
+	}
+}
+
+// drop counts batch b as shed — its tuples exactly once — and returns it
+// emptied (tuple refs cleared) so the producer can reuse it instead of
+// round-tripping through the pool.
+func (a *admission) drop(b *batch) *batch {
+	a.shedBatches.Add(1)
+	a.shedTuples.Add(uint64(len(b.items)))
+	for i := range b.items {
+		b.items[i] = nil
+	}
+	b.items = b.items[:0]
+	return b
+}
+
+// deliver ships one full batch to destination d under admission control.
+// Static callee of send (hotpath: zero-alloc): no allocation anywhere on
+// this path; the transition hook is a dynamic call and carries the
+// allocating slow path. Shed batches are stashed in o.spare rather than
+// pool.Put so no interface conversion appears on the path.
+func (o *edgeOut) deliver(d int, b *batch) {
+	a := o.adm
+	ch := o.dests[d].in
+
+	// Watermark bookkeeping: producer-local per-destination state, so no
+	// locks; each producer observes the shared queue depth independently.
+	depth := len(ch)
+	if !o.pressure[d] {
+		if depth >= a.highBatches {
+			o.pressure[d] = true
+			a.pressured.Add(1)
+			a.transitions.Add(1)
+			if a.onTransition != nil {
+				a.onTransition(o.dests[d], true)
+			}
+		}
+	} else if depth <= a.lowBatches {
+		o.pressure[d] = false
+		a.pressured.Add(-1)
+		a.transitions.Add(1)
+		if a.onTransition != nil {
+			a.onTransition(o.dests[d], false)
+		}
+	}
+
+	switch a.policy {
+	case AdmitShedOldest:
+		for {
+			select {
+			case ch <- b:
+				return
+			default:
+			}
+			// Full: evict the oldest queued batch and retry. The consumer
+			// may drain between the two selects — then the eviction select
+			// misses and the next loop iteration just sends.
+			select {
+			case old := <-ch:
+				o.spare = a.drop(old)
+			default:
+			}
+		}
+	case AdmitShedSampled:
+		select {
+		case ch <- b:
+			return
+		default:
+		}
+		o.sampled++
+		if o.sampled%a.sampleN == 0 {
+			o.spare = a.drop(b)
+			return
+		}
+		ch <- b
+	default: // AdmitBlock
+		ch <- b
+	}
+}

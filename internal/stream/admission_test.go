@@ -1,0 +1,203 @@
+package stream
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// slowBolt consumes at a fixed per-tuple delay — the throttled consumer
+// of the overload scenarios — and counts exactly what it saw.
+type slowBolt struct {
+	delay time.Duration
+	seen  *atomic.Uint64
+}
+
+func (b *slowBolt) Execute(Tuple, Emitter) {
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	b.seen.Add(1)
+}
+
+func TestParseAdmissionPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want AdmissionPolicy
+		ok   bool
+	}{
+		{"block", AdmitBlock, true},
+		{"", AdmitBlock, true},
+		{"shed-oldest", AdmitShedOldest, true},
+		{"shed-sampled", AdmitShedSampled, true},
+		{"drop", 0, false},
+	} {
+		got, err := ParseAdmissionPolicy(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseAdmissionPolicy(%q) = (%v, %v)", tc.in, got, err)
+		}
+		if tc.ok && tc.in != "" && got.String() != tc.in {
+			t.Errorf("String() round-trip: %q -> %q", tc.in, got.String())
+		}
+	}
+}
+
+// runOverload drives a fast producer into a consumer throttled to a small
+// fraction of the producer's rate through a tiny queue, under the given
+// policy, and returns the run report plus the consumed-tuple count.
+func runOverload(t *testing.T, policy AdmissionPolicy, n int, j *obs.Journal, reg *obs.Registry) (*Report, uint64) {
+	t.Helper()
+	var seen atomic.Uint64
+	opts := []Option{
+		WithBatchSize(8),
+		WithQueueCap(4),
+		WithAdmission(AdmissionConfig{Policy: policy, SampleN: 2}),
+	}
+	if j != nil {
+		opts = append(opts, WithJournal(j))
+	}
+	if reg != nil {
+		opts = append(opts, WithRegistry(reg))
+	}
+	tp := New("overload", 0, opts...)
+	tp.AddSpout("src", func(task int) Spout {
+		return &taggedSpout{task: task, n: n}
+	}, 1)
+	// ~50µs per tuple vs a spout that produces as fast as it can loop:
+	// the consumer runs well below 10% of the producer's rate, so the
+	// 4-batch queue saturates almost immediately.
+	tp.AddBolt("sink", func(int) Bolt {
+		return &slowBolt{delay: 50 * time.Microsecond, seen: &seen}
+	}, 1).SubscribeTo("src", Shuffle{})
+	rep, err := tp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, seen.Load()
+}
+
+// TestOverloadShedPoliciesAccountExactly is the overload acceptance test:
+// a consumer throttled far below the producer's rate, a bounded queue,
+// and the invariant produced = consumed + shed holding to the tuple.
+func TestOverloadShedPoliciesAccountExactly(t *testing.T) {
+	const n = 4000
+	for _, policy := range []AdmissionPolicy{AdmitShedOldest, AdmitShedSampled} {
+		rep, consumed := runOverload(t, policy, n, nil, nil)
+		produced := rep.EdgeTuples("src", "sink")
+		if produced != n {
+			t.Fatalf("%v: produced %d tuples, want %d", policy, produced, n)
+		}
+		shed := rep.Admission.ShedTuples
+		if shed == 0 {
+			t.Fatalf("%v: overload never shed (consumed %d)", policy, consumed)
+		}
+		if consumed+shed != produced {
+			t.Fatalf("%v: accounting broken: consumed %d + shed %d != produced %d",
+				policy, consumed, shed, produced)
+		}
+		if rep.Tasks["sink"][0].Executed.Load() != consumed {
+			t.Fatalf("%v: executed counter %d != consumed %d",
+				policy, rep.Tasks["sink"][0].Executed.Load(), consumed)
+		}
+	}
+}
+
+// TestOverloadBlockPolicyIsLossless pins the default: admission enabled
+// with the block policy engages pressure but never drops a tuple.
+func TestOverloadBlockPolicyIsLossless(t *testing.T) {
+	const n = 1500
+	rep, consumed := runOverload(t, AdmitBlock, n, nil, nil)
+	if consumed != n {
+		t.Fatalf("block policy lost tuples: consumed %d of %d", consumed, n)
+	}
+	if rep.Admission.ShedTuples != 0 || rep.Admission.ShedBatches != 0 {
+		t.Fatalf("block policy shed: %+v", rep.Admission)
+	}
+	if rep.Admission.Transitions == 0 {
+		t.Fatal("pressure never engaged under a saturated queue")
+	}
+}
+
+// TestAdmissionJournalAndMetrics checks the observability contract:
+// pressure transitions and the shed summary land in the journal, and the
+// registry exposes the exact shed count.
+func TestAdmissionJournalAndMetrics(t *testing.T) {
+	j := obs.NewJournal(256)
+	reg := obs.NewRegistry()
+	rep, consumed := runOverload(t, AdmitShedOldest, 4000, j, reg)
+	shed := rep.Admission.ShedTuples
+	if shed == 0 {
+		t.Fatal("no shedding to observe")
+	}
+	if consumed+shed != rep.EdgeTuples("src", "sink") {
+		t.Fatalf("accounting: %d + %d != %d", consumed, shed, rep.EdgeTuples("src", "sink"))
+	}
+
+	var engaged, summary bool
+	for _, ev := range j.Recent(256) {
+		switch ev.Type {
+		case "pressure":
+			if strings.Contains(ev.Msg, "engaged") {
+				engaged = true
+			}
+		case "admission":
+			summary = true
+		}
+	}
+	if !engaged {
+		t.Fatal("no pressure-engaged journal event")
+	}
+	if !summary {
+		t.Fatal("no admission shed summary journal event")
+	}
+
+	found := false
+	for _, fam := range reg.Gather() {
+		if fam.Desc.Name != "admission_shed_total" {
+			continue
+		}
+		found = true
+		if len(fam.Samples) != 1 || uint64(fam.Samples[0].Value) != shed {
+			t.Fatalf("admission_shed_total = %+v, want %d", fam.Samples, shed)
+		}
+	}
+	if !found {
+		t.Fatal("admission_shed_total not exported")
+	}
+}
+
+// TestAdmissionOffLeavesSendsUntouched pins the zero-cost-off contract:
+// no WithAdmission option, no admission state on any edge.
+func TestAdmissionOffLeavesSendsUntouched(t *testing.T) {
+	var seen atomic.Uint64
+	tp := New("plain", 4, WithBatchSize(4))
+	tp.AddSpout("src", func(task int) Spout { return &taggedSpout{task: task, n: 100} }, 1)
+	tp.AddBolt("sink", func(int) Bolt { return &slowBolt{seen: &seen} }, 1).
+		SubscribeTo("src", Shuffle{})
+	rep, err := tp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen.Load() != 100 || rep.Admission != (AdmissionStats{}) {
+		t.Fatalf("plain run: seen=%d admission=%+v", seen.Load(), rep.Admission)
+	}
+}
+
+func TestAdmissionConfigDefaults(t *testing.T) {
+	c := AdmissionConfig{}.withDefaults()
+	if c.SampleN != 2 || c.HighPct != 80 || c.LowPct != 40 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	a := newAdmission(c, 10)
+	if a.highBatches != 8 || a.lowBatches != 4 {
+		t.Fatalf("watermarks for cap 10: high=%d low=%d", a.highBatches, a.lowBatches)
+	}
+	// Tiny queues must still produce a valid low < high ordering.
+	a = newAdmission(c, 1)
+	if a.highBatches != 1 || a.lowBatches != 0 {
+		t.Fatalf("watermarks for cap 1: high=%d low=%d", a.highBatches, a.lowBatches)
+	}
+}

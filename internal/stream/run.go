@@ -53,6 +53,12 @@ type edgeOut struct {
 	batchSize int
 	stamp     bool     // instrumented run: stamp batch creation time
 	pending   []*batch // one accumulating batch per destination, nil when empty
+	// Admission control (nil adm = plain blocking sends, the zero-cost-off
+	// default). pressure and sampled are producer-local, no locking.
+	adm      *admission
+	pressure []bool // per-destination watermark state
+	sampled  uint64 // shed-sampled: full-queue batches seen
+	spare    *batch // last shed batch, emptied, kept for reuse
 }
 
 // send appends t to destination d's pending batch, shipping the batch when
@@ -63,7 +69,11 @@ type edgeOut struct {
 func (o *edgeOut) send(d int, t Tuple, pool *sync.Pool) {
 	b := o.pending[d]
 	if b == nil {
-		b = pool.Get().(*batch)
+		if b = o.spare; b != nil {
+			o.spare = nil
+		} else {
+			b = pool.Get().(*batch)
+		}
 		if o.stamp {
 			b.enq = time.Now()
 		}
@@ -73,12 +83,18 @@ func (o *edgeOut) send(d int, t Tuple, pool *sync.Pool) {
 	if len(b.items) >= o.batchSize {
 		o.pending[d] = nil
 		o.counters.Batches.Add(1)
-		o.dests[d].in <- b
+		if o.adm == nil {
+			o.dests[d].in <- b
+		} else {
+			o.deliver(d, b)
+		}
 	}
 }
 
 // flush ships every non-empty pending batch. Call when the producer task
-// finishes so no tuple is stranded in an accumulation buffer.
+// finishes so no tuple is stranded in an accumulation buffer. Flushes
+// bypass shedding (they ship the tail of the stream, not overload) but
+// still block, so they stay lossless.
 func (o *edgeOut) flush() {
 	for d, b := range o.pending {
 		if b == nil {
@@ -166,6 +182,22 @@ func (tp *Topology) Run() (*Report, error) {
 		Bolts:    make(map[string][]Bolt),
 	}
 
+	var adm *admission
+	if tp.adm != nil {
+		adm = newAdmission(*tp.adm, tp.queueCap)
+		if tp.journal != nil {
+			journal, name := tp.journal, tp.name
+			adm.onTransition = func(dest *taskRun, engaged bool) {
+				state := "released"
+				if engaged {
+					state = "engaged"
+				}
+				journal.Append("pressure", "stream/"+name,
+					fmt.Sprintf("%s on %s[%d] queue", state, dest.comp.name, dest.idx))
+			}
+		}
+	}
+
 	// One batch pool per run: batches have uniform capacity, so any task
 	// can recycle any producer's batch.
 	batchSize := tp.batchSize
@@ -212,14 +244,19 @@ func (tp *Topology) Run() (*Report, error) {
 				streamName = DefaultStream
 			}
 			for _, prod := range tasks[in.from] {
-				prod.outs = append(prod.outs, &edgeOut{
+				out := &edgeOut{
 					stream:    streamName,
 					sel:       in.grouping.NewSelector(len(dests)),
 					dests:     dests,
 					counters:  ec,
 					batchSize: batchSize,
 					pending:   make([]*batch, len(dests)),
-				})
+				}
+				if adm != nil {
+					out.adm = adm
+					out.pressure = make([]bool, len(dests))
+				}
+				prod.outs = append(prod.outs, out)
 			}
 			for _, d := range dests {
 				d.producers.Add(int64(len(tasks[in.from])))
@@ -228,7 +265,7 @@ func (tp *Topology) Run() (*Report, error) {
 	}
 
 	if tp.reg != nil {
-		tp.registerMetrics(report, tasks)
+		tp.registerMetrics(report, tasks, adm)
 	}
 	taskCount := 0
 	for _, name := range tp.order {
@@ -255,6 +292,15 @@ func (tp *Topology) Run() (*Report, error) {
 	}
 	wg.Wait()
 	report.Elapsed = time.Since(start)
+	if adm != nil {
+		report.Admission = adm.stats()
+		if report.Admission.ShedTuples > 0 {
+			tp.journal.Append("admission", "stream/"+tp.name,
+				fmt.Sprintf("shed %d tuples in %d batches (%d pressure transitions)",
+					report.Admission.ShedTuples, report.Admission.ShedBatches,
+					report.Admission.Transitions))
+		}
+	}
 	if err := rec.err(); err != nil {
 		tp.journal.Append("run_end", "stream/"+tp.name, "failed: "+err.Error())
 		return report, err

@@ -1,0 +1,462 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendAll(t *testing.T, l *Log, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if _, err := l.Append([]byte(p)); err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+	}
+}
+
+func drain(t *testing.T, l *Log, from uint64) []string {
+	t.Helper()
+	it, err := l.Iter(from)
+	if err != nil {
+		t.Fatalf("Iter(%d): %v", from, err)
+	}
+	defer it.Close()
+	var out []string
+	want := from
+	for {
+		idx, payload, err := it.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if idx != want {
+			t.Fatalf("Next returned index %d, want %d", idx, want)
+		}
+		want++
+		out = append(out, string(payload))
+	}
+}
+
+func TestAppendIterRoundTrip(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := []string{"alpha", "", "gamma", "delta"}
+	appendAll(t, l, want...)
+	got := drain(t, l, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if tail := drain(t, l, 2); len(tail) != 2 || tail[0] != "gamma" {
+		t.Fatalf("Iter(2) = %q, want [gamma delta]", tail)
+	}
+	if past := drain(t, l, 4); len(past) != 0 {
+		t.Fatalf("Iter(next) returned %q, want empty", past)
+	}
+}
+
+func TestReopenContinuesIndexing(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b", "c")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if n := l.Next(); n != 3 {
+		t.Fatalf("Next after reopen = %d, want 3", n)
+	}
+	idx, err := l.Append([]byte("d"))
+	if err != nil || idx != 3 {
+		t.Fatalf("Append after reopen = (%d, %v), want (3, nil)", idx, err)
+	}
+	got := drain(t, l, 0)
+	if len(got) != 4 || got[3] != "d" {
+		t.Fatalf("replay after reopen = %q", got)
+	}
+}
+
+func TestRotationAndMultiSegmentReplay(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record rotates.
+	l, err := Open(dir, Options{SegmentBytes: 1, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "one", "two", "three", "four")
+	got := drain(t, l, 0)
+	if len(got) != 4 || got[0] != "one" || got[3] != "four" {
+		t.Fatalf("multi-segment replay = %q", got)
+	}
+	if got := drain(t, l, 3); len(got) != 1 || got[0] != "four" {
+		t.Fatalf("Iter(3) across segments = %q", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 4 {
+		t.Fatalf("expected >=4 segment files, found %d", len(segs))
+	}
+	l, err = Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if n := l.Next(); n != 4 {
+		t.Fatalf("Next after multi-segment reopen = %d, want 4", n)
+	}
+}
+
+func TestEmptySegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotate with zero records: seals an empty segment, and the new
+	// active segment reuses the same start index.
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate on empty log: %v", err)
+	}
+	appendAll(t, l, "after")
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(); err != nil { // empty again, mid-log
+		t.Fatal(err)
+	}
+	appendAll(t, l, "last")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with empty segments: %v", err)
+	}
+	defer l.Close()
+	got := drain(t, l, 0)
+	if len(got) != 2 || got[0] != "after" || got[1] != "last" {
+		t.Fatalf("replay with empty segments = %q, want [after last]", got)
+	}
+}
+
+func TestTornFinalRecordTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "keep-0", "keep-1", "doomed")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlySegment(t, dir)
+	// Chop mid-payload of the final record, as a crash mid-write would.
+	st, _ := os.Stat(seg)
+	if err := os.Truncate(seg, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer l.Close()
+	if n := l.Next(); n != 2 {
+		t.Fatalf("Next after torn-tail truncation = %d, want 2", n)
+	}
+	got := drain(t, l, 0)
+	if len(got) != 2 || got[1] != "keep-1" {
+		t.Fatalf("replay after torn tail = %q", got)
+	}
+	// The torn record's index is reused: the log stays dense.
+	if idx, err := l.Append([]byte("rewritten")); err != nil || idx != 2 {
+		t.Fatalf("Append after truncation = (%d, %v), want (2, nil)", idx, err)
+	}
+	if got := drain(t, l, 2); len(got) != 1 || got[0] != "rewritten" {
+		t.Fatalf("replay of rewritten tail = %q", got)
+	}
+}
+
+func TestTornFinalChecksumTreatedAsTorn(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "keep", "doomed")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlySegment(t, dir)
+	// Flip the last payload byte: a complete frame with a bad checksum
+	// at the very tail is indistinguishable from a torn write.
+	flipByteAt(t, seg, -1)
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with corrupt final record: %v", err)
+	}
+	defer l.Close()
+	if n := l.Next(); n != 1 {
+		t.Fatalf("Next = %d, want 1 (corrupt tail dropped)", n)
+	}
+}
+
+func TestCorruptMidSegmentRejectedWithOffset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "zero", "one", "two")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlySegment(t, dir)
+	// Record 1 starts after record 0's frame: varint(4) + crc(4) + "zero".
+	frame0 := int64(1 + 4 + len("zero"))
+	// Flip a payload byte of record 1 (its payload starts 5 bytes in).
+	flipByteAt(t, seg, frame0+5)
+	_, err = Open(dir, Options{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("reopen with mid-segment corruption: got %v, want CorruptError", err)
+	}
+	if ce.Index != 1 {
+		t.Fatalf("CorruptError.Index = %d, want 1", ce.Index)
+	}
+	if ce.Offset != frame0 {
+		t.Fatalf("CorruptError.Offset = %d, want %d", ce.Offset, frame0)
+	}
+	if ce.Segment != seg {
+		t.Fatalf("CorruptError.Segment = %q, want %q", ce.Segment, seg)
+	}
+}
+
+func TestIteratorReportsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 1, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "aaaa", "bbbb", "cccc")
+	// Corrupt the middle (sealed) segment after open: Open never
+	// re-scans sealed segments, so only the iterator sees it.
+	flipByteAt(t, filepath.Join(dir, segName(1)), 6)
+	it, err := l.Iter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, _, err := it.Next(); err != nil {
+		t.Fatalf("record 0 should be readable: %v", err)
+	}
+	_, _, err = it.Next()
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Index != 1 {
+		t.Fatalf("iterating corrupt segment: got %v, want CorruptError at index 1", err)
+	}
+	l.Close()
+}
+
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 1, Retain: 2, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 6; i++ {
+		appendAll(t, l, fmt.Sprintf("rec-%d", i))
+	}
+	if b := l.Begin(); b == 0 {
+		t.Fatal("Begin still 0: retention never fired")
+	}
+	if _, err := l.Iter(0); err == nil {
+		t.Fatal("Iter(0) succeeded on a retired index")
+	}
+	got := drain(t, l, l.Begin())
+	if len(got) == 0 || got[len(got)-1] != "rec-5" {
+		t.Fatalf("replay from Begin = %q", got)
+	}
+}
+
+func TestTrimBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 1, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, "a", "b", "c", "d")
+	if err := l.TrimBefore(2); err != nil {
+		t.Fatal(err)
+	}
+	if b := l.Begin(); b != 2 {
+		t.Fatalf("Begin after TrimBefore(2) = %d, want 2", b)
+	}
+	got := drain(t, l, 2)
+	if len(got) != 2 || got[0] != "c" {
+		t.Fatalf("replay after trim = %q", got)
+	}
+	// Trimming never touches the active segment.
+	if err := l.TrimBefore(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, l, l.Begin()); len(got) == 0 {
+		t.Fatal("active segment was trimmed away")
+	}
+}
+
+func TestIteratorSnapshotIsolation(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, "before")
+	it, err := l.Iter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	appendAll(t, l, "after")
+	if _, _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := it.Next(); err != io.EOF {
+		t.Fatalf("snapshot iterator saw post-snapshot append: err=%v", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"interval", SyncInterval, true},
+		{"", SyncInterval, true},
+		{"never", SyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = (%v, %v)", tc.in, got, err)
+		}
+	}
+	// SyncAlways must keep every record durable: exercised for coverage
+	// of the per-append fsync path.
+	l, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "durable")
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedLogRejectsOps(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if _, err := l.Iter(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Iter after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+}
+
+func TestAbsurdLengthIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "fine")
+	l.Close()
+	seg := onlySegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var huge [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(huge[:], MaxRecord+1)
+	// A huge declared length followed by data: not a torn tail (the
+	// frame is self-evidently invalid), and Open must refuse to guess.
+	garbage := append(huge[:n], make([]byte, 64)...)
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = Open(dir, Options{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Index != 1 {
+		t.Fatalf("reopen with absurd length = %v, want CorruptError at 1", err)
+	}
+}
+
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one segment, got %v (%v)", segs, err)
+	}
+	return segs[0]
+}
+
+func flipByteAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if off < 0 {
+		st, err := f.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += st.Size()
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

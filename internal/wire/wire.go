@@ -58,18 +58,52 @@ const (
 	// reports the stream cursor it restored from its checkpoint so the
 	// coordinator can replay only the tail. Payload is one uvarint — the
 	// next record ID the worker expects (0 = nothing restored, replay all).
-	// handled-by: coordinator
+	// A v4 worker appends a second uvarint, its initial record-credit
+	// window; its presence is how the coordinator learns the peer speaks
+	// v4 (see ReadResumeAckCredit). handled-by: coordinator
 	TypeResumeAck
+	// TypePause (v4) is a payload-free flow-control notice, valid in both
+	// directions once a v4 FT session is negotiated. Worker→coordinator it
+	// means "my unacknowledged-result buffer crossed its high watermark;
+	// hold the record stream". Coordinator→worker it parks the session:
+	// the worker keeps answering pings but should expect no records until
+	// Resume. Flushed immediately, like Ping.
+	// handled-by: coordinator,worker
+	TypePause
+	// TypeResume (v4) is the payload-free counterpart of TypePause: the
+	// sender's pressure dropped below its low watermark and the stream may
+	// flow again. handled-by: coordinator,worker
+	TypeResume
+	// TypeCredit (v4) grants flow-control credit; payload is one uvarint
+	// delta. Worker→coordinator it means "I processed n more records; send
+	// n more". Coordinator→worker it acknowledges n more results as
+	// durable (persisted to the results log), letting the worker drop them
+	// from its unacknowledged-result buffer. Credits are per-connection
+	// and reset at each handshake. handled-by: coordinator,worker
+	TypeCredit
 )
 
-// Version is the protocol version carried in Hello; mismatches are
-// rejected at handshake. Version 2 added the fault-tolerance handshake:
-// Hello carries a session ID plus FT/Resume flags, and the Ping, Pong and
-// ResumeAck frame types exist. Version 3 added the optional trace-context
-// annotation on Record frames (flags bit 4: trace id + parent span index
-// appended after the token list); untraced records encode byte-identically
-// to version 2, so the annotation costs nothing off the sampled path.
-const Version = 3
+// Version is the protocol version carried in Hello. Version 2 added the
+// fault-tolerance handshake: Hello carries a session ID plus FT/Resume
+// flags, and the Ping, Pong and ResumeAck frame types exist. Version 3
+// added the optional trace-context annotation on Record frames (flags
+// bit 4: trace id + parent span index appended after the token list);
+// untraced records encode byte-identically to version 2, so the
+// annotation costs nothing off the sampled path. Version 4 added flow
+// control and durable recovery: the Pause/Resume/Credit frames, a
+// partition-plan hash appended to Hello, the Durable hello flag, and an
+// initial-credit field on ResumeAck.
+//
+// Negotiation is asymmetric by design: a peer accepts any version in
+// [MinVersion, Version] (ReadHello), and the v4 additions appear on the
+// wire only when the Hello that opened the session carried version >= 4 —
+// a session pinned at version 2 or 3 encodes byte-identically to the old
+// protocol, so new coordinators interoperate with old workers by sending
+// the older version.
+const Version = 4
+
+// MinVersion is the oldest Hello version a peer still accepts.
+const MinVersion = 2
 
 // MaxFrame bounds a frame payload; larger frames indicate corruption.
 const MaxFrame = 1 << 24
@@ -109,6 +143,17 @@ type Hello struct {
 	// SessionID names the run across reconnects; FT checkpoints are keyed
 	// by it. Zero for non-FT sessions.
 	SessionID uint64
+	// Durable (v4, flags bit 16) marks a session whose results are
+	// persisted coordinator-side: the worker must buffer results until the
+	// coordinator acknowledges them with Credit frames, and re-send the
+	// unacknowledged tail after a resume.
+	Durable bool
+	// PlanHash (v4) fingerprints the session's launch configuration
+	// (partition plan, strategy, similarity parameters). A resuming worker
+	// compares it against its checkpoint and rejects a mismatch — the
+	// checkpoint belongs to a different plan and would replay wrong-range
+	// records. Encoded only when Version >= 4.
+	PlanHash uint64
 }
 
 // Record is a routed record copy with its storage role and, for
@@ -210,8 +255,14 @@ func (w *Writer) WriteHello(h Hello) error {
 	if h.Resume {
 		flags |= 8
 	}
+	if h.Durable {
+		flags |= 16
+	}
 	w.buf = append(w.buf, flags)
 	w.putUvarint(h.SessionID)
+	if h.Version >= 4 {
+		w.putUvarint(h.PlanHash)
+	}
 	return w.flushFrame(TypeHello)
 }
 
@@ -323,10 +374,50 @@ func (w *Writer) WritePong() error {
 // WriteResumeAck reports the restored stream cursor of a resuming session:
 // nextID is the first record ID the worker has NOT yet seen (0 when no
 // checkpoint was found). Flushed so the coordinator can start its replay
-// without waiting for buffer pressure.
+// without waiting for buffer pressure. This is the v2/v3 form; v4 workers
+// answer with WriteResumeAckCredit instead.
 func (w *Writer) WriteResumeAck(nextID uint64) error {
 	w.putUvarint(nextID)
 	if err := w.flushFrame(TypeResumeAck); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteResumeAckCredit is the v4 ResumeAck: the cursor plus the worker's
+// initial record-credit window. The extra field is what tells the
+// coordinator the worker speaks v4 and flow control is in effect.
+func (w *Writer) WriteResumeAckCredit(nextID, credit uint64) error {
+	w.putUvarint(nextID)
+	w.putUvarint(credit)
+	if err := w.flushFrame(TypeResumeAck); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WritePause sends the payload-free flow-control pause notice; flushed
+// immediately like WritePing so pressure propagates without delay.
+func (w *Writer) WritePause() error {
+	if err := w.flushFrame(TypePause); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteResume lifts a pause; flushed like WritePause.
+func (w *Writer) WriteResume() error {
+	if err := w.flushFrame(TypeResume); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteCredit grants delta units of flow-control credit; flushed so the
+// peer can act on it immediately.
+func (w *Writer) WriteCredit(delta uint64) error {
+	w.putUvarint(delta)
+	if err := w.flushFrame(TypeCredit); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -474,18 +565,48 @@ func (r *Reader) ReadHello() (Hello, error) {
 	h.Bi = ob&2 != 0
 	h.FT = ob&4 != 0
 	h.Resume = ob&8 != 0
+	h.Durable = ob&16 != 0
 	if h.SessionID, err = p.uvarint(); err != nil {
 		return h, err
 	}
-	if h.Version != Version {
-		return h, fmt.Errorf("wire: protocol version %d, want %d", h.Version, Version)
+	if h.Version < MinVersion || h.Version > Version {
+		return h, fmt.Errorf("wire: protocol version %d, want %d..%d", h.Version, MinVersion, Version)
+	}
+	if h.Version >= 4 {
+		if h.PlanHash, err = p.uvarint(); err != nil {
+			return h, err
+		}
 	}
 	return h, nil
 }
 
 // ReadResumeAck decodes a staged ResumeAck frame into the worker's next
-// expected record ID.
+// expected record ID, ignoring the v4 credit field if present.
 func (r *Reader) ReadResumeAck() (uint64, error) {
+	p := payload{b: r.buf}
+	return p.uvarint()
+}
+
+// ReadResumeAckCredit decodes a staged ResumeAck frame including the v4
+// initial-credit field. hasCredit reports whether the field was present —
+// false means the peer answered with the v2/v3 form and flow control is
+// not in effect on this connection.
+func (r *Reader) ReadResumeAckCredit() (nextID, credit uint64, hasCredit bool, err error) {
+	p := payload{b: r.buf}
+	if nextID, err = p.uvarint(); err != nil {
+		return 0, 0, false, err
+	}
+	if p.i >= len(p.b) {
+		return nextID, 0, false, nil
+	}
+	if credit, err = p.uvarint(); err != nil {
+		return 0, 0, false, err
+	}
+	return nextID, credit, true, nil
+}
+
+// ReadCredit decodes a staged Credit frame's delta.
+func (r *Reader) ReadCredit() (uint64, error) {
 	p := payload{b: r.buf}
 	return p.uvarint()
 }

@@ -105,6 +105,133 @@ func TestHelloVersionRejected(t *testing.T) {
 	}
 }
 
+func TestHelloOldVersionsAccepted(t *testing.T) {
+	// A v4 peer must keep accepting v2/v3 hellos (version negotiation);
+	// anything below MinVersion stays rejected.
+	for v := MinVersion; v <= Version; v++ {
+		h := Hello{Version: v, Task: 1, Workers: 2, Threshold: 0.6, Bounds: []int{}}
+		r := roundTripFrames(t, func(w *Writer) error { return w.WriteHello(h) })
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.ReadHello()
+		if err != nil {
+			t.Fatalf("version %d rejected: %v", v, err)
+		}
+		if got.Version != v {
+			t.Fatalf("version %d decoded as %d", v, got.Version)
+		}
+	}
+	h := Hello{Version: MinVersion - 1, Bounds: []int{}}
+	r := roundTripFrames(t, func(w *Writer) error { return w.WriteHello(h) })
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadHello(); err == nil {
+		t.Fatalf("version %d accepted", MinVersion-1)
+	}
+}
+
+func TestHelloV4FieldsRoundTrip(t *testing.T) {
+	h := Hello{
+		Version: 4, Task: 2, Workers: 4, Threshold: 0.8, Bounds: []int{10, 20},
+		FT: true, Durable: true, SessionID: 42, PlanHash: 0xFEEDFACE12345678,
+	}
+	r := roundTripFrames(t, func(w *Writer) error { return w.WriteHello(h) })
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadHello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("v4 hello mismatch:\ngot  %+v\nwant %+v", got, h)
+	}
+}
+
+func TestHelloV3EncodingUnchanged(t *testing.T) {
+	// A hello pinned at version 3 must encode byte-identically whether or
+	// not the v4-only fields are populated: old peers see the old bytes.
+	base := Hello{Version: 3, Task: 1, Workers: 2, Threshold: 0.7, Bounds: []int{5}, FT: true, SessionID: 9}
+	withV4 := base
+	withV4.PlanHash = 0xABCDEF
+
+	encode := func(h Hello) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteHello(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(base), encode(withV4)) {
+		t.Fatal("PlanHash leaked into a v3 hello encoding")
+	}
+}
+
+func TestFlowControlFramesRoundTrip(t *testing.T) {
+	r := roundTripFrames(t, func(w *Writer) error {
+		if err := w.WritePause(); err != nil {
+			return err
+		}
+		if err := w.WriteCredit(4096); err != nil {
+			return err
+		}
+		return w.WriteResume()
+	})
+	typ, err := r.Next()
+	if err != nil || typ != TypePause {
+		t.Fatalf("pause frame: %v %v", typ, err)
+	}
+	typ, err = r.Next()
+	if err != nil || typ != TypeCredit {
+		t.Fatalf("credit frame: %v %v", typ, err)
+	}
+	delta, err := r.ReadCredit()
+	if err != nil || delta != 4096 {
+		t.Fatalf("credit delta: %d %v", delta, err)
+	}
+	typ, err = r.Next()
+	if err != nil || typ != TypeResume {
+		t.Fatalf("resume frame: %v %v", typ, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestResumeAckCreditForms(t *testing.T) {
+	// v2/v3 form: no credit field.
+	r := roundTripFrames(t, func(w *Writer) error { return w.WriteResumeAck(77) })
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	next, credit, has, err := r.ReadResumeAckCredit()
+	if err != nil || next != 77 || has || credit != 0 {
+		t.Fatalf("plain ack decoded as (%d, %d, %v, %v)", next, credit, has, err)
+	}
+	// v4 form: credit present; legacy ReadResumeAck still sees the cursor.
+	r = roundTripFrames(t, func(w *Writer) error { return w.WriteResumeAckCredit(77, 512) })
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	next, credit, has, err = r.ReadResumeAckCredit()
+	if err != nil || next != 77 || !has || credit != 512 {
+		t.Fatalf("v4 ack decoded as (%d, %d, %v, %v)", next, credit, has, err)
+	}
+	r = roundTripFrames(t, func(w *Writer) error { return w.WriteResumeAckCredit(33, 8) })
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if next, err := r.ReadResumeAck(); err != nil || next != 33 {
+		t.Fatalf("legacy decode of v4 ack: %d %v", next, err)
+	}
+}
+
 func TestRecordRoundTrip(t *testing.T) {
 	rec := &record.Record{ID: 12345, Time: -7, Tokens: []tokens.Rank{1, 5, 9, 4_000_000_000}}
 	r := roundTripFrames(t, func(w *Writer) error { return w.WriteRecord(true, rec) })
