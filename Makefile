@@ -50,6 +50,7 @@ fuzz:
 	go test -fuzz FuzzQGramTokenizer -fuzztime 10s ./internal/tokens/
 	go test -fuzz FuzzJoinMatchesBruteForce -fuzztime 15s ./internal/offline/
 	go test -fuzz FuzzIntersectKernels -fuzztime 15s ./internal/similarity/
+	go test -fuzz FuzzTreeVsCollect -fuzztime 15s ./internal/bundle/
 
 # ~10s fuzz sanity pass for CI.
 fuzz-smoke:
@@ -59,6 +60,7 @@ fuzz-smoke:
 	go test -fuzz FuzzQGramTokenizer -fuzztime 2s ./internal/tokens/
 	go test -fuzz FuzzJoinMatchesBruteForce -fuzztime 2s ./internal/offline/
 	go test -fuzz FuzzIntersectKernels -fuzztime 2s ./internal/similarity/
+	go test -fuzz FuzzTreeVsCollect -fuzztime 2s ./internal/bundle/
 
 clean:
 	rm -rf internal/*/testdata/fuzz

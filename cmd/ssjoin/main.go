@@ -54,8 +54,9 @@ func main() {
 		dist    = flag.String("dist", "length", "distribution: length, prefix, broadcast")
 		part    = flag.String("part", "load-aware", "length partitioner: load-aware, even-length, even-frequency")
 		workers = flag.Int("workers", 4, "worker parallelism")
-		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "verifier goroutines per worker (bundle algorithm, in-process runs): candidate verification fans out across cores with deterministic output; 1 disables")
+		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "verifier goroutines per worker (bundle algorithm, in-process runs): candidate verification fans out across cores with deterministic output; 1 disables, 0 auto-sizes from GOMAXPROCS with a measured-scaling clamp")
 		kernel  = flag.String("kernel", "auto", "verification intersection kernel: auto, linear, gallop, bitset (bundle algorithm; results are identical for every choice)")
+		verify  = flag.String("verify", "collect", "verification organization: collect, tree, auto (bundle algorithm, in-process runs; results are identical for every choice)")
 		win     = flag.Int64("window", 0, "count window (0 = unbounded)")
 		pairs   = flag.Bool("pairs", false, "print result pairs")
 		asJSON  = flag.Bool("json", false, "print the run summary as JSON on stdout")
@@ -85,6 +86,10 @@ func main() {
 		walSegment = flag.Int64("wal-segment", 0, "with -state-dir: WAL segment rotation threshold in bytes (0: library default)")
 	)
 	flag.Parse()
+
+	if *par == 0 {
+		*par = bundle.AutoPoolSize()
+	}
 
 	if *monitor != "" {
 		if err := runMonitor(*monitor, *traces, *watch, *healthSpec); err != nil {
@@ -177,6 +182,7 @@ func main() {
 	cfg.Threshold = *tau
 	cfg.WindowRecords = *win
 	cfg.Kernel = *kernel
+	cfg.VerifyMode = *verify
 	if cfg.Function, err = parseFunc(*fn); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,66 @@
+// Adaptive kernel tuning: a per-run BitsetMinLen learned from the
+// realized verify_kernel_* mix instead of the static default. The knob
+// only moves packing *eligibility* — which kernel runs a merge — and
+// every kernel is exact, so adaptation can never change the emitted
+// match stream; it only shifts work between packing cost on the insert
+// path and word-merge savings on the verify path.
+package bundle
+
+import "repro/internal/similarity"
+
+const (
+	// adaptInterval is the probe count between re-estimates.
+	adaptInterval = 4096
+	// adaptMinSample is the minimum kernel-merge count an interval must
+	// contribute before its mix is trusted.
+	adaptMinSample = 256
+	// adaptMinLen/adaptMaxLen clamp the adapted cutoff.
+	adaptMinLen = 16
+	adaptMaxLen = 512
+)
+
+// adaptTick runs once per probe (from finishProbe). Every adaptInterval
+// probes it inspects the kernel mix since the last estimate: when the
+// bitset kernel carries most merges the packing cutoff halves (pack
+// more, down to adaptMinLen); when bitset merges are rare despite
+// packing, the cutoff doubles (stop paying pack cost the verify phase
+// never repays, up to adaptMaxLen). Off unless AdaptiveMinLen is set,
+// and meaningful only in auto mode — forced modes ignore BitsetMinLen.
+//
+// Single-writer safety: BitsetMinLen is read only by ShouldPack, which
+// runs in the single-writer insert/collect phases; kernel dispatch
+// (Choose) never consults it, so mutating it between probes can never
+// race with a fanned verify phase.
+func (bx *Index) adaptTick() {
+	if !bx.cfg.Kernel.AdaptiveMinLen || bx.cfg.Kernel.Mode != similarity.KernelAuto {
+		return
+	}
+	bx.adaptProbes++
+	if bx.adaptProbes%adaptInterval != 0 {
+		return
+	}
+	dl := bx.stats.KernelLinear - bx.adaptMark.linear
+	dg := bx.stats.KernelGallop - bx.adaptMark.gallop
+	db := bx.stats.KernelBitset - bx.adaptMark.bitset
+	bx.adaptMark.linear = bx.stats.KernelLinear
+	bx.adaptMark.gallop = bx.stats.KernelGallop
+	bx.adaptMark.bitset = bx.stats.KernelBitset
+	total := dl + dg + db
+	if total < adaptMinSample {
+		return
+	}
+	cut := bx.cfg.Kernel.BitsetMinLen
+	switch {
+	case db*2 > total:
+		cut /= 2
+	case db*20 < total:
+		cut *= 2
+	}
+	if cut < adaptMinLen {
+		cut = adaptMinLen
+	}
+	if cut > adaptMaxLen {
+		cut = adaptMaxLen
+	}
+	bx.cfg.Kernel.BitsetMinLen = cut
+}

@@ -1,0 +1,104 @@
+// Verifier-pool auto-sizing: turn "-parallel=0" into a concrete pool
+// size. GOMAXPROCS alone over-provisions on throttled hosts (cgroup CPU
+// limits, busy CI runners, SMT siblings counted as cores), so the
+// candidate size is clamped by a short measured-scaling probe over a
+// verification-shaped workload before any goroutines are committed to
+// the pool. The chosen size never affects results — ProbePar merges in
+// deterministic order at any P.
+package bundle
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/similarity"
+	"repro/internal/tokens"
+)
+
+const (
+	// autoPoolCap bounds the auto-sized pool: beyond ~8 helpers the
+	// single-writer collect/merge phases dominate and extra stints only
+	// add wake/claim overhead (see DESIGN.md, verifier pool scaling).
+	autoPoolCap = 8
+	// autoProbeMerges is the fixed packed-merge count the scaling probe
+	// splits across goroutines — ~1ms serial on current hardware, cheap
+	// enough to pay once at startup.
+	autoProbeMerges = 1 << 13
+	// autoProbeSetLen sizes the probe's synthetic sets.
+	autoProbeSetLen = 512
+	// autoMinSpeedup is the parallel-over-serial probe speedup below
+	// which auto-sizing falls back to a single-threaded joiner.
+	autoMinSpeedup = 1.2
+)
+
+// AutoPoolSize picks a verifier pool size for callers that request
+// automatic parallelism (the CLIs' -parallel=0): runtime.GOMAXPROCS
+// capped at autoPoolCap, then clamped to the speedup a measured scaling
+// probe actually achieves on this host. Degenerate scaling (under
+// autoMinSpeedup) returns 1, keeping the joiner strictly serial rather
+// than paying pool overhead the hardware cannot repay.
+func AutoPoolSize() int {
+	p := runtime.GOMAXPROCS(0)
+	if p > autoPoolCap {
+		p = autoPoolCap
+	}
+	if p <= 1 {
+		return 1
+	}
+	serial := probeScaling(1)
+	par := probeScaling(p)
+	if serial <= 0 || par <= 0 {
+		return p // timer too coarse to judge; trust GOMAXPROCS
+	}
+	speedup := float64(serial) / float64(par)
+	if speedup < autoMinSpeedup {
+		return 1
+	}
+	if s := int(speedup + 0.5); s < p {
+		p = s
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// probeScaling times autoProbeMerges packed intersections split across g
+// goroutines — the same kernel shape the verifier pool runs — and
+// returns the wall clock consumed. Each goroutine folds into its own
+// slot, so the probe is race-free under -race test runs.
+func probeScaling(g int) time.Duration {
+	ranks := make([]tokens.Rank, autoProbeSetLen)
+	for i := range ranks {
+		ranks[i] = tokens.Rank(3 * i)
+	}
+	var pa, pb similarity.Packed
+	similarity.PackInto(&pa, ranks)
+	for i := range ranks {
+		ranks[i] = tokens.Rank(3*i + 2)
+	}
+	similarity.PackInto(&pb, ranks)
+
+	acc := make([]int, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			sum := 0
+			for i := 0; i < autoProbeMerges/g; i++ {
+				n, _ := similarity.IntersectSizePacked(&pa, &pb)
+				sum += n
+			}
+			acc[slot] = sum
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if acc[0] < 0 { // defeat dead-code elimination of the probe loop
+		panic("unreachable")
+	}
+	return elapsed
+}

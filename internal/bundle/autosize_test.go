@@ -1,0 +1,24 @@
+package bundle
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestAutoPoolSizeBounds pins the auto-sizer's contract: the result is
+// always a usable pool size within [1, min(GOMAXPROCS, autoPoolCap)].
+// The exact value is host-dependent by design (measured-scaling clamp),
+// so only the bounds are asserted.
+func TestAutoPoolSizeBounds(t *testing.T) {
+	p := AutoPoolSize()
+	hi := runtime.GOMAXPROCS(0)
+	if hi > autoPoolCap {
+		hi = autoPoolCap
+	}
+	if p < 1 || p > hi {
+		t.Fatalf("AutoPoolSize() = %d, want within [1, %d]", p, hi)
+	}
+	// A pool of the chosen size must construct and close cleanly.
+	pool := NewPool(p)
+	pool.Close()
+}

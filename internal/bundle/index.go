@@ -33,6 +33,11 @@ type Config struct {
 	// so this setting never changes the emitted matches — it is therefore
 	// worker-local and deliberately kept off the wire protocol.
 	Kernel similarity.KernelConfig
+	// VerifyMode selects collect (posting-list candidates, then verify),
+	// tree (candidate-free filter-and-verification tree), or auto (per
+	// probe). Every mode emits the byte-identical match stream, so like
+	// Kernel it is worker-local and kept off the wire protocol.
+	VerifyMode VerifyMode
 }
 
 func (c Config) withDefaults(tau float64) Config {
@@ -89,6 +94,14 @@ type Stats struct {
 	KernelBitset    uint64 // verification merges run by the bitset kernel
 	BundleQuickSkip uint64 // bundles skipped by the pre-merge size bound
 	MemberDeltaSkip uint64 // members skipped by the core+|delta| bound
+
+	TreeProbes         uint64 // probes answered by the verification tree
+	TreeNodesVisited   uint64 // tree nodes descended
+	TreeSubtreesPruned uint64 // subtrees cut by candidacy/length/position bounds
+	TreeCandsAvoided   uint64 // members skipped with no per-member work at all
+	TreeLeafUBSkip     uint64 // anchored members cut by the position bound
+	TreeSuffixSkip     uint64 // anchored members cut by the suffix filter
+	TreeNodes          uint64 // live tree nodes, excluding the root (gauge)
 }
 
 // Pruned sums the candidates the kernel-tier upper bounds discarded
@@ -133,6 +146,24 @@ type Index struct {
 	trial []tokens.Rank
 	// al slab-allocates members, bundles and deltas on the insert path.
 	al alloc
+
+	// root anchors the filter-and-verification tree; nil in collect mode
+	// (auto maintains both structures). tw and frontier are the serial
+	// descent's reusable walk state and root-fanout scratch.
+	root     *treeNode
+	tw       treeWalk
+	frontier []*treeNode
+
+	// emitBuf buffers one probe's matches so every mode and pool size can
+	// flush them in the canonical per-probe order (ascending partner ID);
+	// emitAppend is the prebuilt append closure handed to verifiers.
+	emitBuf    []Match
+	emitAppend func(Match)
+
+	// adaptProbes/adaptMark drive the optional periodic BitsetMinLen
+	// re-estimation (see adaptTick).
+	adaptProbes uint64
+	adaptMark   struct{ linear, gallop, bitset uint64 }
 }
 
 // walkRef is one prefix token's posting list in the selectivity-ordered
@@ -145,12 +176,17 @@ type walkRef struct {
 
 // New returns an empty bundle index.
 func New(p filter.Params, w window.Policy, cfg Config) *Index {
-	return &Index{
+	bx := &Index{
 		params: p,
 		win:    w,
 		cfg:    cfg.withDefaults(p.Threshold),
 		posts:  make(map[tokens.Rank][]*Bundle),
 	}
+	if bx.cfg.VerifyMode != VerifyCollect {
+		bx.root = &treeNode{}
+	}
+	bx.emitAppend = func(m Match) { bx.emitBuf = append(bx.emitBuf, m) }
+	return bx
 }
 
 // Params returns the join parameters.
@@ -183,6 +219,13 @@ type LiveStats struct {
 	KernelGallop atomic.Uint64
 	KernelBitset atomic.Uint64
 	Pruned       atomic.Uint64
+
+	// Tree-mode probe work (verify_tree_* in /metrics).
+	TreeProbes         atomic.Uint64
+	TreeNodesVisited   atomic.Uint64
+	TreeSubtreesPruned atomic.Uint64
+	TreeCandsAvoided   atomic.Uint64
+	TreeNodes          atomic.Uint64
 }
 
 // PublishLive makes the index mirror its counters into ls after every
@@ -205,6 +248,18 @@ func (bx *Index) publish() {
 	bx.live.KernelGallop.Store(bx.stats.KernelGallop)
 	bx.live.KernelBitset.Store(bx.stats.KernelBitset)
 	bx.live.Pruned.Store(bx.stats.Pruned())
+	bx.live.TreeProbes.Store(bx.stats.TreeProbes)
+	bx.live.TreeNodesVisited.Store(bx.stats.TreeNodesVisited)
+	bx.live.TreeSubtreesPruned.Store(bx.stats.TreeSubtreesPruned)
+	bx.live.TreeCandsAvoided.Store(bx.stats.TreeCandsAvoided)
+	bx.live.TreeNodes.Store(bx.stats.TreeNodes)
+}
+
+// finishProbe is the per-probe epilogue every probe path runs exactly
+// once: refresh the live mirror, then give the kernel adapter its tick.
+func (bx *Index) finishProbe() {
+	bx.publish()
+	bx.adaptTick()
 }
 
 // Process runs one full streaming step for r: evict expired members, probe
@@ -233,6 +288,14 @@ func (bx *Index) Evict(nowSeq record.ID, nowTime int64) {
 		}
 		fe.m.dead = true
 		fe.b.live--
+		if bx.maintainTree() {
+			l := rec.Len()
+			p := bx.params.PrefixLen(l)
+			if p > l {
+				p = l
+			}
+			bx.treeRemove(fe.m, rec.Tokens[:p])
+		}
 		fe.b.removeDead(bx.cfg.Kernel)
 		bx.fifo[bx.head] = fifoEntry{}
 		bx.head++
@@ -244,21 +307,49 @@ func (bx *Index) Evict(nowSeq record.ID, nowTime int64) {
 	}
 }
 
-// Probe finds all live records similar to r, emits them, and returns the
-// best match's bundle together with the best similarity (ok=false when
-// there is no match). Verification is exact; emitted overlaps are true
-// intersection sizes.
+// Probe finds all live records similar to r, emits them in the canonical
+// per-probe order (ascending partner record ID), and returns the best
+// match's bundle together with the best similarity (ok=false when there
+// is no match). Verification is exact; emitted overlaps are true
+// intersection sizes. The match stream and the insertion hint are
+// identical for every VerifyMode, Kernel, and pool size.
 func (bx *Index) Probe(r *record.Record, emit func(Match)) (best Insertion, ok bool) {
+	if bx.useTree() {
+		return bx.probeTree(r, emit)
+	}
 	cands := bx.collectCandidates(r)
+	bx.emitBuf = bx.emitBuf[:0]
 	for _, b := range cands {
-		if m, found := bx.probeBundle(r, b, &bx.stats, emit); found {
-			if !ok || m.Sim > best.Sim {
+		if m, found := bx.probeBundle(r, b, &bx.stats, bx.emitAppend); found {
+			if !ok || betterIns(m, best) {
 				best, ok = m, true
 			}
 		}
 	}
-	bx.publish()
+	bx.emitCanonical(emit)
+	bx.finishProbe()
 	return best, ok
+}
+
+// emitCanonical flushes the probe's buffered matches in ascending
+// partner-ID order — the canonical emission order shared by collect,
+// tree, serial, and pooled probes, which is what makes the four paths
+// byte-interchangeable. Each partner appears at most once per probe
+// (one member per record), so the order is total. The buffer is the
+// concatenation of short sorted runs (per-bundle member order, or DFS
+// leaf order), which insertion sort exploits.
+//
+// hotpath: zero-alloc — runs once per probe over the reused buffer.
+func (bx *Index) emitCanonical(emit func(Match)) {
+	ms := bx.emitBuf
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Rec.ID < ms[j-1].Rec.ID; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+	for i := range ms {
+		emit(ms[i])
+	}
 }
 
 // collectCandidates walks the posting lists of r's prefix tokens in
@@ -333,10 +424,22 @@ func (bx *Index) collectCandidates(r *record.Record) []*Bundle {
 	return cands
 }
 
-// Insertion names the bundle an incoming record should join.
+// Insertion names the bundle an incoming record should join. At is the
+// record ID of the best match backing the hint: the canonical rule —
+// maximum similarity, ties to the smallest partner ID — makes the pick a
+// pure function of the match set, so every verify mode, kernel, and pool
+// size drives the identical grouping evolution.
 type Insertion struct {
 	Bundle *Bundle
 	Sim    float64
+	At     record.ID
+}
+
+// betterIns reports whether insertion hint a beats b under the canonical
+// rule. Similarities are computed from identical (overlap, length)
+// inputs on every path, so ties compare bitwise-equal floats.
+func betterIns(a, b Insertion) bool {
+	return a.Sim > b.Sim || (a.Sim == b.Sim && a.At < b.At)
 }
 
 // probeBundle filters and verifies r against one candidate bundle, emitting
@@ -385,7 +488,7 @@ func (bx *Index) probeBundle(r *record.Record, b *Bundle, st *Stats, emit func(M
 		sim := similarity.FromOverlap(bx.params.Func, o, la, lb)
 		st.Results++
 		emit(Match{Rec: m.Rec, Overlap: o, Sim: sim})
-		return Insertion{Bundle: b, Sim: sim}, true
+		return Insertion{Bundle: b, Sim: sim, At: m.Rec.ID}, true
 	}
 
 	// Quick size bound before any merge: overlap(r, y) <= min(la, ly,
@@ -485,8 +588,8 @@ func (bx *Index) probeBundle(r *record.Record, b *Bundle, st *Stats, emit func(M
 		sim := similarity.FromOverlap(bx.params.Func, o, la, lb)
 		st.Results++
 		emit(Match{Rec: m.Rec, Overlap: o, Sim: sim})
-		if !found || sim > best.Sim {
-			best, found = Insertion{Bundle: b, Sim: sim}, true
+		if !found || betterIns(Insertion{Sim: sim, At: m.Rec.ID}, best) {
+			best, found = Insertion{Bundle: b, Sim: sim, At: m.Rec.ID}, true
 		}
 	}
 	return best, found
@@ -516,6 +619,11 @@ func (s *Stats) mergeVerify(o *Stats) {
 	s.KernelBitset += o.KernelBitset
 	s.BundleQuickSkip += o.BundleQuickSkip
 	s.MemberDeltaSkip += o.MemberDeltaSkip
+	s.TreeNodesVisited += o.TreeNodesVisited
+	s.TreeSubtreesPruned += o.TreeSubtreesPruned
+	s.TreeCandsAvoided += o.TreeCandsAvoided
+	s.TreeLeafUBSkip += o.TreeLeafUBSkip
+	s.TreeSuffixSkip += o.TreeSuffixSkip
 }
 
 // Dump visits every live member record in arrival order; returning false
@@ -596,10 +704,22 @@ func (bx *Index) Insert(r *record.Record, best Insertion) {
 		bx.stats.Appends++
 	}
 	newPosts := target.add(&bx.al, bx.cfg.Kernel, r, p, newCore)
-	for _, tok := range newPosts {
-		bx.posts[tok] = append(bx.posts[tok], target)
+	if bx.cfg.VerifyMode != VerifyTree {
+		// Pure tree mode never reads posting lists — and never compacts
+		// them (compaction lives in collectCandidates), so extending them
+		// would leak dead postings. Auto maintains both structures.
+		for _, tok := range newPosts {
+			bx.posts[tok] = append(bx.posts[tok], target)
+		}
+		bx.stats.Postings += uint64(len(newPosts))
 	}
-	bx.stats.Postings += uint64(len(newPosts))
+	if bx.maintainTree() {
+		pl := p
+		if pl > r.Len() {
+			pl = r.Len()
+		}
+		bx.treeInsert(target, target.Members[len(target.Members)-1], r.Tokens[:pl])
+	}
 	if uint64(target.live) > bx.stats.MaxBundleSize {
 		bx.stats.MaxBundleSize = uint64(target.live)
 	}

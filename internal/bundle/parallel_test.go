@@ -189,6 +189,39 @@ func TestPoolSnapshotCounters(t *testing.T) {
 // stream. On a multi-core box P>1 shows the verify-phase speedup; on one
 // core it measures pool overhead (the parity tests guarantee the output is
 // identical either way).
+// BenchmarkProbePar isolates the probe path (no inserts after warmup):
+// a pre-built index is probed with fresh records, so the numbers track
+// candidate claiming and the verify fan-out rather than index
+// maintenance. This is the before/after benchmark for chunked candidate
+// claiming (see claimChunk) — the contended atomic on j.next is the
+// dominant cost at high P with cheap per-candidate work.
+func BenchmarkProbePar(b *testing.B) {
+	rng := rand.New(rand.NewSource(73))
+	stream := duplicateHeavyStream(rng, 3000, 400)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			bx := New(params(0.5), window.Unbounded{}, Config{})
+			pool := NewPool(p)
+			defer pool.Close()
+			for i, src := range stream {
+				r := &record.Record{ID: record.ID(i), Time: int64(i), Tokens: src.Tokens}
+				processPar(bx, pool, r, func(Match) {})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := stream[i%len(stream)]
+				r := &record.Record{ID: record.ID(len(stream) + i), Time: int64(len(stream) + i), Tokens: src.Tokens}
+				if p > 1 {
+					bx.ProbePar(pool, r, func(Match) {})
+				} else {
+					bx.Probe(r, func(Match) {})
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkParallelVerify(b *testing.B) {
 	rng := rand.New(rand.NewSource(61))
 	stream := duplicateHeavyStream(rng, 2000, 30)

@@ -282,8 +282,113 @@ func benchmarkKernels(b *testing.B, short, long int) {
 	})
 }
 
+// TestPackedBatchDense pins the word-batched popcount fast path against
+// the scalar reference on contiguous runs: aligned, misaligned (word
+// lists equal but offset in rank space), and tails shorter than one
+// batch. words totals must match the unbatched definition (one unit per
+// merged word) so kernel step accounting is batch-invariant.
+func TestPackedBatchDense(t *testing.T) {
+	shapes := []struct {
+		name   string
+		sa, sb []tokens.Rank
+	}{
+		{"aligned-full", contigRanks(0, 512), contigRanks(0, 512)},
+		{"half-overlap", contigRanks(0, 512), contigRanks(256, 512)},
+		{"word-misaligned", contigRanks(0, 512), contigRanks(7, 512)},
+		{"short-tail", contigRanks(0, 200), contigRanks(64, 200)},
+		{"sub-batch", contigRanks(0, 128), contigRanks(64, 128)},
+		{"disjoint-runs", append(contigRanks(0, 128), contigRanks(1024, 128)...), append(contigRanks(64, 128), contigRanks(1024+64, 128)...)},
+	}
+	for _, s := range shapes {
+		var pa, pb Packed
+		PackInto(&pa, s.sa)
+		PackInto(&pb, s.sb)
+		want := IntersectSize(s.sa, s.sb)
+		got, words := IntersectSizePacked(&pa, &pb)
+		if got != want {
+			t.Fatalf("%s: IntersectSizePacked = %d, want %d", s.name, got, want)
+		}
+		// Equal-word merges advance both lists together, so the word
+		// total is the merge length regardless of batching.
+		if wantWords := mergeWords(pa.Words, pb.Words); words != wantWords {
+			t.Fatalf("%s: words = %d, want %d", s.name, words, wantWords)
+		}
+		for _, req := range []int{0, 1, want, want + 1, len(s.sa)} {
+			o, _, ok := VerifyOverlapPacked(&pa, &pb, req)
+			if ok != (want >= req) {
+				t.Fatalf("%s: VerifyOverlapPacked(req=%d) ok = %v, want %v", s.name, req, ok, want >= req)
+			}
+			if ok && o != want {
+				t.Fatalf("%s: VerifyOverlapPacked(req=%d) overlap = %d, want %d", s.name, req, o, want)
+			}
+		}
+	}
+}
+
+// mergeWords is the scalar reference for the packed kernels' words
+// counter: one unit per merge iteration of the word lists.
+func mergeWords(a, b []uint32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		n++
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
 var sink int
 
 func BenchmarkIntersectEven(b *testing.B)    { benchmarkKernels(b, 1024, 1024) }
 func BenchmarkIntersectSkew16(b *testing.B)  { benchmarkKernels(b, 64, 1024) }
 func BenchmarkIntersectSkew256(b *testing.B) { benchmarkKernels(b, 16, 4096) }
+
+// contigRanks returns n consecutive ranks starting at base: every 64-rank
+// block is fully populated, so the packed form's word list is one
+// contiguous run and the bitset kernel's word-batched fast path fires on
+// every merge step.
+func contigRanks(base, n int) []tokens.Rank {
+	s := make([]tokens.Rank, n)
+	for i := range s {
+		s[i] = tokens.Rank(base + i)
+	}
+	return s
+}
+
+// BenchmarkIntersectDense pits the bitset kernel against fully
+// contiguous rank runs with 50% overlap — the shape where the 4-word
+// popcount batch carries the whole merge. Kept under the same 0
+// allocs/op CI gate as the sparse BenchmarkIntersect* cases.
+func BenchmarkIntersectDense(b *testing.B) {
+	const n = 4096
+	sa := contigRanks(0, n)
+	sb := contigRanks(n/2, n)
+	var pa, pb Packed
+	PackInto(&pa, sa)
+	PackInto(&pb, sb)
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink, _ = IntersectSizePacked(&pa, &pb)
+		}
+	})
+	b.Run("bitset-verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink, _, _ = VerifyOverlapPacked(&pa, &pb, n/2)
+		}
+	})
+	b.Run("gallop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink, _ = IntersectSizeGallop(sa, sb)
+		}
+	})
+}
